@@ -1,0 +1,47 @@
+"""Ablation — the many-bank on-package DRAM (Section II).
+
+The paper: accessing the off-package 8-bank DRAM costs ~107 cycles of
+queuing while the 128-bank on-package DRAM costs < 3 on average. Sweep
+the on-package bank count and show queuing collapse.
+"""
+
+import numpy as np
+
+from repro.config import DramTiming
+from repro.dram.fastmodel import FastDevice
+from repro.dram.timing import DramGeometry
+from repro.stats.report import Table
+
+
+def test_bank_count_ablation(run_once, fast):
+    rng = np.random.default_rng(0)
+    n = 100_000 if fast else 400_000
+    addr = rng.integers(0, (1 << 27) // 64, n) * 64
+    arrivals = np.cumsum(rng.integers(1, 14, n))  # heavy load
+
+    def sweep():
+        out = {}
+        for banks in (8, 16, 32, 64, 128):
+            timing = DramTiming(io_cycles=5, n_banks=banks, n_channels=1)
+            dev = FastDevice(DramGeometry(timing))
+            lat = dev.service(addr, arrivals)
+            # queuing = measured latency minus the pure service mix
+            service = (
+                dev.row_hit_rate * timing.hit_cycles
+                + (1 - dev.row_hit_rate) * timing.miss_cycles
+            )
+            out[banks] = float(lat.mean() - service)
+        return out
+
+    queuing = run_once(sweep)
+    table = Table(
+        "Ablation — on-package bank count vs queuing delay (heavy load)",
+        ["banks", "avg queuing (cycles)"],
+    )
+    for banks, q in queuing.items():
+        table.add_row(banks, f"{q:.1f}")
+    print()
+    table.print()
+    assert queuing[8] > 10 * max(queuing[128], 0.5)
+    values = list(queuing.values())
+    assert all(a >= b - 0.5 for a, b in zip(values, values[1:]))  # monotone

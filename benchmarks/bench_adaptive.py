@@ -1,0 +1,63 @@
+"""Extension — adaptive migration granularity (the paper's future work).
+
+Section IV-B: "it is necessary for the memory controller to adaptively
+change the migration granularity according to different types of
+workloads." The explore-then-commit controller probes the Fig 11-14
+ladder online and commits; compare against every fixed granularity.
+"""
+
+from repro.core.hetero_memory import HeterogeneousMainMemory
+from repro.experiments.common import migration_config, migration_trace
+from repro.extensions.adaptive import AdaptiveGranularitySimulator
+from repro.stats.report import Table
+from repro.units import KB, format_size
+
+LADDER = (4 * KB, 64 * KB, 1024 * KB)
+WORKLOADS = ("pgbench", "MG.C")
+
+
+def test_adaptive_granularity(run_once, fast):
+    n = 400_000 if fast else 1_200_000
+
+    def sweep():
+        rows = {}
+        for workload in WORKLOADS:
+            trace = migration_trace(workload, n)
+            cfg = migration_config(
+                algorithm="live", macro_page_bytes=64 * KB, swap_interval=1_000
+            )
+            fixed = {
+                g: HeterogeneousMainMemory(
+                    cfg.with_migration(macro_page_bytes=g)
+                ).run(trace).average_latency
+                for g in LADDER
+            }
+            adaptive = AdaptiveGranularitySimulator(
+                cfg, ladder=LADDER, adapt_every=20
+            ).run(trace)
+            rows[workload] = (fixed, adaptive)
+        return rows
+
+    rows = run_once(sweep)
+    table = Table(
+        "Extension — adaptive granularity vs fixed (Live, interval 1K)",
+        ["workload"]
+        + [f"fixed {format_size(g)}" for g in LADDER]
+        + ["adaptive", "committed to"],
+    )
+    for workload, (fixed, adaptive) in rows.items():
+        table.add_row(
+            workload,
+            *[f"{v:.1f}" for v in fixed.values()],
+            f"{adaptive.average_latency:.1f}",
+            format_size(adaptive.final_granularity),
+        )
+    print()
+    table.print()
+    for workload, (fixed, adaptive) in rows.items():
+        worst = max(fixed.values())
+        best = min(fixed.values())
+        # exploration overhead must not sink it below the worst fixed rung
+        assert adaptive.average_latency < worst * 1.15, workload
+        # and it must commit to a rung whose fixed latency is near-best
+        assert fixed[adaptive.final_granularity] <= best * 1.25, workload

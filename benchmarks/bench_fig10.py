@@ -1,0 +1,13 @@
+"""Fig 10 — hardware cost vs macro page size (exact analytic repro)."""
+
+from repro.experiments.fig10 import run
+from repro.migration.overhead import hardware_bits
+from repro.units import GB, KB, MB
+
+
+def test_fig10(run_once, fast):
+    table = run_once(run, fast)
+    print()
+    table.print()
+    assert hardware_bits(1 * GB, 4 * MB).total_bits == 9228  # the paper's number
+    assert hardware_bits(1 * GB, 4 * KB).total_bits > 10_000_000

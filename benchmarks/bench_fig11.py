@@ -1,0 +1,33 @@
+"""Fig 11 (a/b/c) — N vs N-1 vs Live across granularity x interval.
+
+Shape assertions:
+* at 4 MB pages with frequent swapping, N is far worse than N-1;
+* Live <= N-1 (within noise) everywhere;
+* at 4 KB the three algorithms converge.
+"""
+
+from repro.config import MigrationAlgorithm
+from repro.experiments.fig11 import run, simulate
+from repro.units import KB
+
+
+def test_fig11(run_once, fast):
+    tables = run_once(run, fast)
+    print()
+    for t in tables:
+        t.print()
+
+    n = 300_000 if fast else 1_200_000
+    workload = "pgbench"
+    lat = {
+        (algo, page): simulate(workload, algo, page, 1_000, n).average_latency
+        for algo in MigrationAlgorithm.ALL
+        for page in (4 * KB, 4096 * KB)
+    }
+    # coarse + frequent: N stalls dominate
+    assert lat[("N", 4096 * KB)] > 3 * lat[("N-1", 4096 * KB)]
+    # live never loses to N-1 by more than noise
+    assert lat[("live", 4096 * KB)] <= lat[("N-1", 4096 * KB)] * 1.02
+    assert lat[("live", 4 * KB)] <= lat[("N-1", 4 * KB)] * 1.02
+    # 4 KB convergence between the background algorithms
+    assert abs(lat[("live", 4 * KB)] - lat[("N-1", 4 * KB)]) < 0.05 * lat[("N-1", 4 * KB)]

@@ -1,0 +1,26 @@
+"""Figs 12-14 — Live Migration latency vs granularity per interval.
+
+Shape assertion: the most frequent interval (Fig 12, 1K) achieves the
+lowest per-workload minimum of the three (the paper: "the migration
+frequency is more important").
+"""
+
+from repro.experiments.fig12_14 import latency_grid, run
+from repro.units import KB
+
+
+def test_fig12_14(run_once, fast):
+    tables = run_once(run, fast)
+    print()
+    for t in tables:
+        t.print()
+
+    n = 300_000 if fast else 1_200_000
+    grans = (4 * KB, 64 * KB, 1024 * KB)
+    workloads = ("pgbench", "MG.C")
+    minima = {}
+    for interval in (1_000, 10_000, 100_000):
+        grid = latency_grid(interval, n, grans, workloads)
+        minima[interval] = {wl: min(series) for wl, series in grid.items()}
+    for wl in workloads:
+        assert minima[1_000][wl] <= minima[100_000][wl] * 1.02, wl

@@ -1,0 +1,30 @@
+"""Fig 15 — sensitivity to on-package capacity (128/256/512 MB).
+
+Shape assertions: latency degrades gracefully as the region shrinks and
+stays below the no-migration latency at every size.
+"""
+
+from repro.config import MigrationAlgorithm
+from repro.core.hetero_memory import baseline_latency
+from repro.experiments.common import migration_config, migration_trace
+from repro.experiments.fig11 import simulate
+from repro.experiments.fig15 import INTERVAL, PAGE, run
+
+
+def test_fig15(run_once, fast):
+    table = run_once(run, fast)
+    print()
+    table.print()
+
+    n = 300_000 if fast else 1_200_000
+    workload = "pgbench"
+    lat = {
+        mb: simulate(workload, MigrationAlgorithm.LIVE, PAGE, INTERVAL, n, mb).average_latency
+        for mb in (128, 256, 512)
+    }
+    static = baseline_latency(
+        migration_config(512), migration_trace(workload, n), "static"
+    ).average_latency
+    assert lat[512] <= lat[256] * 1.05 <= lat[128] * 1.10
+    for mb in (128, 256, 512):
+        assert lat[mb] < static, mb

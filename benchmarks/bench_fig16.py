@@ -1,0 +1,27 @@
+"""Fig 16 — memory power of the hybrid system vs off-package-only.
+
+Shape assertions: migration power overhead grows with swap frequency;
+the sweep's minimum sits near the paper's ~2x floor (4 KB, 100K).
+"""
+
+from repro.config import MigrationAlgorithm
+from repro.experiments.fig16 import run
+from repro.experiments.fig11 import simulate
+from repro.power.energy import MemoryEnergyModel
+from repro.units import KB
+
+
+def test_fig16(run_once, fast):
+    table = run_once(run, fast)
+    print()
+    table.print()
+
+    n = 300_000 if fast else 1_200_000
+    model = MemoryEnergyModel()
+    norm = {}
+    for interval in (1_000, 100_000):
+        res = simulate("pgbench", MigrationAlgorithm.LIVE, 4 * KB, interval, n)
+        norm[interval] = model.report(res).normalized
+    assert norm[1_000] >= norm[100_000]
+    # the sweep floor lands in the paper's ~2x neighbourhood
+    assert 0.5 < norm[100_000] < 4.0

@@ -1,0 +1,16 @@
+"""Fig 4 — LLC miss rate vs capacity: curves must flatten past each
+workload's working set (the paper's anti-big-LLC argument)."""
+
+from repro.experiments.fig4 import miss_rate_curves, run
+
+
+def test_fig4(run_once, fast):
+    table = run_once(run, fast)
+    print()
+    table.print()
+    curves = miss_rate_curves(200_000 if fast else None)
+    for name, rates in curves.items():
+        # monotone non-increasing in capacity (LRU inclusion)
+        assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:])), name
+        # the knee: the last doubling of capacity buys almost nothing
+        assert rates[-2] - rates[-1] < 0.05, name

@@ -1,0 +1,35 @@
+"""Fig 5 — IPC of the four memory organisations.
+
+Shape assertions (Section II):
+* footprint < 1 GB: static mapping ~= the all-on-package ideal;
+* the three > 1 GB workloads: static gain is small, and for DC.B/FT.C
+  the L4 cache wins over static ("cannot compete against the L4 cache");
+* MG.C prefers heterogeneous memory over the L4.
+"""
+
+from repro.cpu.amat import MemoryOrganization
+from repro.experiments.fig5 import ipc_improvements, run
+from repro.units import GB, MB
+from repro.workloads.npb import NPB_FOOTPRINTS_MB
+
+L4 = MemoryOrganization.L4_CACHE
+STATIC = MemoryOrganization.STATIC_ONPKG
+IDEAL = MemoryOrganization.ALL_ONPKG
+
+
+def test_fig5(run_once, fast):
+    table = run_once(run, fast)
+    print()
+    table.print()
+    imp = ipc_improvements(200_000 if fast else None)
+    for name, bars in imp.items():
+        fits = NPB_FOOTPRINTS_MB[name] * MB < 1 * GB
+        if fits:
+            assert bars[STATIC] == bars[IDEAL], name
+            assert bars[STATIC] > bars[L4], name
+        else:
+            assert bars[STATIC] < 0.5 * bars[IDEAL], name
+    # the paper's explicit orderings
+    assert imp["DC.B"][L4] > imp["DC.B"][STATIC]
+    assert imp["FT.C"][L4] > imp["FT.C"][STATIC]
+    assert imp["MG.C"][STATIC] > imp["MG.C"][L4]

@@ -1,0 +1,14 @@
+"""Table I — NPB memory footprints (paper vs generated traces)."""
+
+from repro.experiments.table1 import run
+
+
+def test_table1(run_once, fast):
+    table = run_once(run, fast)
+    print()
+    table.print()
+    # every generated workload must realise >= 40% of its target footprint
+    # even on a short trace (most reach 100%)
+    for row in table.rows:
+        coverage = int(row[-1].rstrip("%"))
+        assert coverage >= 40, row

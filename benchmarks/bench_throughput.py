@@ -1,0 +1,75 @@
+"""Simulator throughput — the library's own performance envelope.
+
+Not a paper figure: tracks how many trace accesses per second each
+simulation path sustains, so performance regressions in the vectorised
+hot loops are caught (per the optimisation-workflow guide: measure,
+don't guess).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import MigrationConfig, SystemConfig
+from repro.core.detailed import DetailedSimulator
+from repro.core.hetero_memory import HeterogeneousMainMemory
+from repro.dram.fastmodel import FastDevice
+from repro.dram.timing import DramGeometry
+from repro.config import offpkg_dram_timing
+from repro.trace.record import make_chunk
+from repro.units import KB, MB
+
+
+def _cfg():
+    return SystemConfig(
+        total_bytes=128 * MB,
+        onpkg_bytes=16 * MB,
+        migration=MigrationConfig(
+            algorithm="live", macro_page_bytes=64 * KB, swap_interval=1_000
+        ),
+    )
+
+
+def _trace(n, seed=0):
+    rng = np.random.default_rng(seed)
+    hot = rng.integers(0, 128 * MB // 4096)
+    blocks = np.where(
+        rng.random(n) < 0.8,
+        (hot + rng.integers(0, 512, n)) % (128 * MB // 4096),
+        rng.integers(0, 128 * MB // 4096, n),
+    )
+    return make_chunk(blocks * 4096, time=np.cumsum(rng.integers(1, 80, n)))
+
+
+def test_fast_dram_model_throughput(benchmark):
+    geo = DramGeometry(offpkg_dram_timing())
+    trace = _trace(200_000)
+
+    def run():
+        dev = FastDevice(geo)
+        return dev.service(trace.addr, trace.time)
+
+    lat = benchmark(run)
+    assert lat.shape[0] == 200_000
+
+
+def test_epoch_simulator_throughput(benchmark):
+    trace = _trace(200_000)
+
+    def run():
+        return HeterogeneousMainMemory(_cfg()).run(trace)
+
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert res.n_accesses == 200_000
+    # the vectorised path should clear ~100k accesses/sec with margin
+    per_access_us = benchmark.stats["mean"] * 1e6 / 200_000
+    assert per_access_us < 10.0
+
+
+def test_detailed_simulator_throughput(benchmark):
+    trace = _trace(5_000)
+
+    def run():
+        return DetailedSimulator(_cfg()).run(trace)
+
+    res = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert res.n_accesses == 5_000

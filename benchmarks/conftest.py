@@ -1,0 +1,31 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables/figures and prints
+it (run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+tables). Set ``REPRO_FULL=1`` for the full grids and trace lengths the
+EXPERIMENTS.md results were produced with; the default subset finishes
+in a few minutes.
+"""
+
+import os
+
+import pytest
+
+
+def full_mode() -> bool:
+    return os.environ.get("REPRO_FULL", "").strip() not in ("", "0", "false")
+
+
+@pytest.fixture(scope="session")
+def fast() -> bool:
+    return not full_mode()
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

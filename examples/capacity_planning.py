@@ -1,0 +1,54 @@
+"""How much on-package DRAM does an HPC workload need?
+
+Package-integrated DRAM is the expensive resource (power delivery and
+heat limit it, Section II). This example sweeps the on-package capacity
+for a multigrid solver (MG.C model) and reports the latency curve with
+and without migration — the Fig 15 experiment turned into a sizing tool.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import repro
+from repro.experiments.common import migration_config, migration_trace
+from repro.stats.report import Table
+from repro.units import KB, MB
+
+N_ACCESSES = 300_000
+CAPACITIES_PAPER_MB = (64, 128, 256, 512)
+
+
+def main() -> None:
+    trace = migration_trace("MG.C", N_ACCESSES)
+    table = Table(
+        "MG.C: on-package capacity sweep (capacities in paper units)",
+        ["on-package", "w/ migration", "w/o migration", "migration benefit"],
+    )
+    knee = None
+    prev = None
+    for mb in CAPACITIES_PAPER_MB:
+        cfg = migration_config(
+            mb, algorithm="live", macro_page_bytes=64 * KB, swap_interval=1_000
+        )
+        migrated = repro.HeterogeneousMainMemory(cfg).run(trace)
+        static = repro.baseline_latency(cfg, trace, "static")
+        benefit = 1 - migrated.average_latency / static.average_latency
+        table.add_row(
+            f"{mb}MB",
+            f"{migrated.average_latency:.1f}",
+            f"{static.average_latency:.1f}",
+            f"{benefit:.0%}",
+        )
+        if prev is not None and prev - migrated.average_latency < 0.03 * prev:
+            knee = knee or mb
+        prev = migrated.average_latency
+    table.print()
+    if knee:
+        print(f"diminishing returns past ~{knee} MB of on-package DRAM for "
+              f"this workload — migration keeps smaller packages effective")
+    else:
+        print("latency still improving at 512 MB: this working set wants "
+              "all the on-package capacity it can get")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Cache substrate.
+
+Provides the SRAM hierarchy of Table II (L1/L2/L3), the paper's
+15-of-16-way tags-in-DRAM L4 cache model (Section II), LRU / CLOCK /
+multi-queue replacement policies, and a Mattson stack-distance profiler
+that yields the miss rate of *every* LRU capacity in one pass — the
+engine behind Fig 4's capacity sweep and trace filtering.
+"""
+
+from .replacement import ClockPseudoLRU, LRUPolicy, MultiQueue
+from .sets import SetAssociativeCache
+from .stackdist import StackDistanceProfile
+from .hierarchy import CacheHierarchy
+from .dramcache import DramCacheModel
+
+__all__ = [
+    "LRUPolicy",
+    "ClockPseudoLRU",
+    "MultiQueue",
+    "SetAssociativeCache",
+    "StackDistanceProfile",
+    "CacheHierarchy",
+    "DramCacheModel",
+]

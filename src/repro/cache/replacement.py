@@ -1,0 +1,152 @@
+"""Replacement / recency-tracking policies.
+
+Three policies the paper's hardware uses:
+
+* :class:`LRUPolicy` — exact LRU (reference).
+* :class:`ClockPseudoLRU` — the clock-based pseudo-LRU used in real
+  processors [17]; the migration controller uses it to find the
+  *coldest* on-package macro page with one bit per slot (Fig 10's
+  256-bit map).
+* :class:`MultiQueue` — the multi-queue algorithm [18] (three levels of
+  ten entries each in the paper) used to find the *hottest* off-package
+  macro page.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+class LRUPolicy:
+    """Exact LRU over a fixed population of slots."""
+
+    def __init__(self, n_slots: int):
+        if n_slots <= 0:
+            raise ConfigError("n_slots must be positive")
+        self.n_slots = n_slots
+        # slot -> None, insertion order == recency order (oldest first)
+        self._order: OrderedDict[int, None] = OrderedDict((s, None) for s in range(n_slots))
+
+    def touch(self, slot: int) -> None:
+        self._order.move_to_end(slot)
+
+    def victim(self) -> int:
+        """The least-recently-used slot (not evicted — slots are fixed)."""
+        return next(iter(self._order))
+
+    def recency_ranking(self) -> list[int]:
+        """Slots oldest-first."""
+        return list(self._order)
+
+
+class ClockPseudoLRU:
+    """One reference bit per slot plus a clock hand.
+
+    ``touch`` sets the slot's bit; ``victim`` sweeps the hand, clearing
+    set bits, until it lands on a clear one — an O(1)-amortised
+    approximation of LRU costing exactly ``n_slots`` bits of state.
+    """
+
+    def __init__(self, n_slots: int):
+        if n_slots <= 0:
+            raise ConfigError("n_slots must be positive")
+        self.n_slots = n_slots
+        self.bits = np.zeros(n_slots, dtype=bool)
+        self.hand = 0
+
+    def touch(self, slot: int) -> None:
+        self.bits[slot] = True
+
+    def touch_many(self, slots: np.ndarray) -> None:
+        """Vectorised touch — used by the epoch simulator."""
+        self.bits[np.asarray(slots, dtype=np.int64)] = True
+
+    def victim(self) -> int:
+        """Sweep the clock hand to the first clear-bit slot."""
+        for _ in range(2 * self.n_slots):
+            if not self.bits[self.hand]:
+                chosen = self.hand
+                self.hand = (self.hand + 1) % self.n_slots
+                return chosen
+            self.bits[self.hand] = False
+            self.hand = (self.hand + 1) % self.n_slots
+        # all bits were set twice around: hand position is as good as any
+        return self.hand  # pragma: no cover
+
+    @property
+    def state_bits(self) -> int:
+        """Hardware cost in bits (Fig 10 accounting)."""
+        return self.n_slots
+
+
+class MultiQueue:
+    """Multi-queue frequency/recency tracker [18].
+
+    ``n_levels`` FIFO queues of ``level_capacity`` entries each. A touch
+    promotes a page one level (or enqueues it at level 0); overflowing a
+    level demotes its oldest entry one level down; overflow of level 0
+    evicts. ``hottest`` returns the most recent entry of the highest
+    non-empty level — the MRU off-package macro page.
+    """
+
+    def __init__(self, n_levels: int = 3, level_capacity: int = 10):
+        if n_levels <= 0 or level_capacity <= 0:
+            raise ConfigError("levels and capacity must be positive")
+        self.n_levels = n_levels
+        self.level_capacity = level_capacity
+        self._queues: list[deque[int]] = [deque() for _ in range(n_levels)]
+        self._level_of: dict[int, int] = {}
+
+    def _demote_overflow(self, level: int) -> None:
+        while len(self._queues[level]) > self.level_capacity:
+            page = self._queues[level].popleft()
+            if level == 0:
+                del self._level_of[page]
+            else:
+                self._queues[level - 1].append(page)
+                self._level_of[page] = level - 1
+                self._demote_overflow(level - 1)
+
+    def touch(self, page: int) -> None:
+        cur = self._level_of.get(page)
+        if cur is None:
+            new = 0
+        else:
+            self._queues[cur].remove(page)
+            new = min(cur + 1, self.n_levels - 1)
+        self._queues[new].append(page)
+        self._level_of[page] = new
+        self._demote_overflow(new)
+
+    def touch_many(self, pages: np.ndarray) -> None:
+        for p in np.asarray(pages, dtype=np.int64):
+            self.touch(int(p))
+
+    def hottest(self) -> int | None:
+        """MRU page: newest entry of the highest non-empty level."""
+        for level in range(self.n_levels - 1, -1, -1):
+            if self._queues[level]:
+                return self._queues[level][-1]
+        return None
+
+    def forget(self, page: int) -> None:
+        """Drop a page (it migrated on-package and is no longer tracked)."""
+        level = self._level_of.pop(page, None)
+        if level is not None:
+            self._queues[level].remove(page)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._level_of
+
+    def __len__(self) -> int:
+        return len(self._level_of)
+
+    @property
+    def state_bits(self) -> int:
+        """Hardware cost: queue entries x (page-id width ~26 bits) — the
+        paper quotes 780 bits for 3 levels x 10 entries."""
+        return self.n_levels * self.level_capacity * 26

@@ -1,0 +1,83 @@
+"""Set-associative cache — the faithful reference model.
+
+Per-access Python simulation with exact per-set LRU. Used for unit
+tests, the DRAM-cache functional model, and cross-validation of the
+stack-distance analytics; the big sweeps use
+:class:`~repro.cache.stackdist.StackDistanceProfile` instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import CacheLevelConfig
+from ..errors import ConfigError
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache with hit/miss accounting."""
+
+    def __init__(self, config: CacheLevelConfig):
+        self.config = config
+        self.n_sets = config.n_sets
+        self.ways = config.ways
+        self.line_bytes = config.line_bytes
+        # tag storage: -1 = invalid; recency: higher = more recent
+        self._tags = np.full((self.n_sets, self.ways), -1, dtype=np.int64)
+        self._recency = np.zeros((self.n_sets, self.ways), dtype=np.int64)
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _index_tag(self, addr: int) -> tuple[int, int]:
+        line = addr // self.line_bytes
+        return line % self.n_sets, line // self.n_sets
+
+    def access(self, addr: int) -> bool:
+        """One access; returns True on hit. Misses allocate (write-allocate)."""
+        s, tag = self._index_tag(addr)
+        self._tick += 1
+        row = self._tags[s]
+        hit_ways = np.flatnonzero(row == tag)
+        if hit_ways.size:
+            self._recency[s, hit_ways[0]] = self._tick
+            self.hits += 1
+            return True
+        self.misses += 1
+        empty = np.flatnonzero(row == -1)
+        way = empty[0] if empty.size else int(np.argmin(self._recency[s]))
+        self._tags[s, way] = tag
+        self._recency[s, way] = self._tick
+        return False
+
+    def access_many(self, addr: np.ndarray) -> np.ndarray:
+        """Boolean hit mask for a batch of accesses (sequential semantics)."""
+        out = np.empty(len(addr), dtype=bool)
+        for i, a in enumerate(np.asarray(addr, dtype=np.int64)):
+            out[i] = self.access(int(a))
+        return out
+
+    def contains(self, addr: int) -> bool:
+        s, tag = self._index_tag(addr)
+        return bool((self._tags[s] == tag).any())
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def flush(self) -> None:
+        self._tags.fill(-1)
+        self._recency.fill(0)
+
+
+def make_cache(capacity_bytes: int, ways: int, line_bytes: int = 64) -> SetAssociativeCache:
+    """Convenience constructor without a latency field."""
+    if capacity_bytes % (ways * line_bytes):
+        raise ConfigError("capacity must be a whole number of sets")
+    cfg = CacheLevelConfig(capacity_bytes, ways, latency_cycles=0, line_bytes=line_bytes)
+    return SetAssociativeCache(cfg)

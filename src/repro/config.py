@@ -1,0 +1,307 @@
+"""Configuration dataclasses mirroring the paper's Tables II and III.
+
+Latency components (cycles at the 3.2 GHz core clock, Table II):
+
+=====================  ======================================
+Memory controller      5 (processing)
+Controller-to-core     4 each way
+Package pin            5 each way
+PCB wire               11 round-trip
+Interposer pin         3 each way
+Intra-package wire     1 round-trip
+DRAM core              50 (Simics model; trace model is detailed)
+Queuing (off-package)  116 (Simics model; emerges in trace model)
+=====================  ======================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .address import AddressMap
+from .errors import ConfigError
+from .units import GB, KB, MB
+
+
+@dataclass(frozen=True)
+class LatencyComponents:
+    """Fixed latency-path components from Table II (core cycles)."""
+
+    controller_processing: int = 5
+    controller_to_core_each_way: int = 4
+    package_pin_each_way: int = 5
+    pcb_wire_round_trip: int = 11
+    interposer_pin_each_way: int = 3
+    intra_package_round_trip: int = 1
+
+    @property
+    def offpkg_overhead(self) -> int:
+        """Non-DRAM, non-queuing cycles of one off-package access.
+
+        controller traversal (processing + 2x core link) + 2x package pin
+        + PCB round trip.
+        """
+        return (
+            self.controller_processing
+            + 2 * self.controller_to_core_each_way
+            + 2 * self.package_pin_each_way
+            + self.pcb_wire_round_trip
+        )
+
+    @property
+    def onpkg_overhead(self) -> int:
+        """Non-DRAM cycles of one on-package access.
+
+        controller traversal + 2x interposer pin + intra-package round trip.
+        No package pin / PCB legs and (per the paper) negligible queuing.
+        """
+        return (
+            self.controller_processing
+            + 2 * self.controller_to_core_each_way
+            + 2 * self.interposer_pin_each_way
+            + self.intra_package_round_trip
+        )
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Open-page DDR3-style bank timing in core cycles.
+
+    Defaults approximate DDR3-1333 seen from a 3.2 GHz core
+    (1 memory cycle ~ 4.8 core cycles; CL=tRCD=tRP=9 memory cycles).
+    ``io_cycles`` is the burst/transfer cost per access, lower for the
+    high-speed on-package interface.
+    """
+
+    t_cas: int = 43          # column access (row-buffer hit cost)
+    t_rcd: int = 43          # activate: row to column delay
+    t_rp: int = 43           # precharge on a conflict
+    io_cycles: int = 19      # data burst on the channel
+    n_banks: int = 8
+    n_channels: int = 4
+    #: finite-queue proxy: a controller has bounded transaction queues and
+    #: backpressures the cores when full; in an open-loop trace simulation
+    #: that bound caps the per-request queuing wait instead of letting the
+    #: backlog grow without limit under bursty overload
+    max_queue_wait: int = 2000
+    #: refresh modelling (disabled by default): every ``refresh_interval``
+    #: cycles all banks block for ``refresh_cycles`` (tREFI ~ 7.8 us and
+    #: tRFC ~ 160 ns of DDR3 give ~25000 / ~512 at 3.2 GHz)
+    refresh_interval: int = 0
+    refresh_cycles: int = 512
+    #: write recovery (disabled by default): a WRITE occupies the bank
+    #: ``t_wr`` extra cycles after its burst (DDR3 tWR ~ 15 ns ~ 48)
+    t_wr: int = 0
+    #: per-channel data-bus serialisation (disabled by default): when on,
+    #: each access additionally occupies its channel's shared data bus for
+    #: ``io_cycles``, serialised across the channel's banks
+    channel_bus: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("t_cas", "t_rcd", "t_rp", "io_cycles", "n_banks", "n_channels",
+                     "max_queue_wait"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"DramTiming.{name} must be positive")
+        if self.refresh_interval < 0 or self.refresh_cycles <= 0:
+            raise ConfigError("invalid refresh parameters")
+        if self.refresh_interval and self.refresh_cycles >= self.refresh_interval:
+            raise ConfigError("refresh window must be shorter than its interval")
+
+    @property
+    def hit_cycles(self) -> int:
+        """Service time of a row-buffer hit."""
+        return self.t_cas + self.io_cycles
+
+    @property
+    def miss_cycles(self) -> int:
+        """Service time of a row-buffer conflict (precharge + activate + CAS)."""
+        return self.t_rp + self.t_rcd + self.t_cas + self.io_cycles
+
+
+def offpkg_dram_timing(*, refresh: bool = False) -> DramTiming:
+    """Commodity DDR3 DIMM: 4 channels x 8 banks."""
+    return DramTiming(refresh_interval=25_000 if refresh else 0)
+
+
+def onpkg_dram_timing(*, refresh: bool = False) -> DramTiming:
+    """On-package many-bank DRAM: 128 banks, faster I/O on the interposer."""
+    return DramTiming(
+        t_cas=43, t_rcd=43, t_rp=43, io_cycles=5, n_banks=128, n_channels=1,
+        refresh_interval=25_000 if refresh else 0,
+    )
+
+
+@dataclass(frozen=True)
+class CacheLevelConfig:
+    """One level of the SRAM cache hierarchy (Table II)."""
+
+    capacity_bytes: int
+    ways: int
+    latency_cycles: int
+    line_bytes: int = 64
+    shared: bool = False
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.ways <= 0 or self.latency_cycles < 0:
+            raise ConfigError("invalid cache level parameters")
+        if self.capacity_bytes % (self.ways * self.line_bytes):
+            raise ConfigError("capacity must be a whole number of sets")
+
+    @property
+    def n_sets(self) -> int:
+        return self.capacity_bytes // (self.ways * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class CacheHierarchyConfig:
+    """The i7-like private L1/L2 + shared L3 of Table II."""
+
+    l1: CacheLevelConfig = field(
+        default_factory=lambda: CacheLevelConfig(32 * KB, 8, 2)
+    )
+    l2: CacheLevelConfig = field(
+        default_factory=lambda: CacheLevelConfig(256 * KB, 8, 5)
+    )
+    l3: CacheLevelConfig = field(
+        default_factory=lambda: CacheLevelConfig(8 * MB, 16, 25, shared=True)
+    )
+    n_cores: int = 4
+
+
+class MigrationAlgorithm:
+    """Names of the three swap algorithms (Section III-A)."""
+
+    N = "N"
+    N_MINUS_1 = "N-1"
+    LIVE = "live"
+
+    ALL = (N, N_MINUS_1, LIVE)
+
+
+@dataclass(frozen=True)
+class MigrationConfig:
+    """Migration-controller knobs (Section III / Table III)."""
+
+    algorithm: str = MigrationAlgorithm.LIVE
+    swap_interval: int = 10_000          # memory accesses per epoch
+    macro_page_bytes: int = 1 * MB
+    subblock_bytes: int = 4 * KB
+    #: pure-hardware translation adds 2 cycles per access (Section III-B)
+    hw_translation_cycles: int = 2
+    #: user/kernel switch cost of one OS-assisted table update [19]
+    os_update_cycles: int = 127
+    #: granularity threshold below which the OS-assisted scheme is used
+    hw_min_page_bytes: int = 1 * MB
+    #: trigger a swap only when the off-package MRU page was accessed
+    #: more often than the on-package LRU page during the epoch
+    hottest_coldest_trigger: bool = True
+    #: live migration copies the MRU sub-block first, then wraps
+    critical_block_first: bool = True
+    #: extra cycles an off-package demand access pays while a (demand-
+    #: priority) background copy shares the DDR channel with it
+    interference_cycles: int = 12
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in MigrationAlgorithm.ALL:
+            raise ConfigError(f"unknown migration algorithm {self.algorithm!r}")
+        if self.swap_interval <= 0:
+            raise ConfigError("swap_interval must be positive")
+
+    @property
+    def os_assisted(self) -> bool:
+        """True when the macro page is too small for the pure-HW table."""
+        return self.macro_page_bytes < self.hw_min_page_bytes
+
+
+@dataclass(frozen=True)
+class BusConfig:
+    """Sustained copy bandwidth in bytes per core cycle.
+
+    Off-package: 64-bit DDR3-1333 = 10.7 GB/s ~ 3.33 B/cycle at 3.2 GHz
+    (the paper: a 4 MB macro page takes 374 us to cross the boundary).
+    On-package: >= 2 Tbps flip-chip SiP interconnect [3] ~ 78 B/cycle.
+    A cross-boundary copy is limited by the off-package bus.
+    """
+
+    offpkg_bytes_per_cycle: float = 3.33
+    onpkg_bytes_per_cycle: float = 78.0
+
+    def __post_init__(self) -> None:
+        if self.offpkg_bytes_per_cycle <= 0 or self.onpkg_bytes_per_cycle <= 0:
+            raise ConfigError("bus bandwidths must be positive")
+
+    def copy_cycles(self, nbytes: int) -> int:
+        """Cycles to move ``nbytes`` across the package boundary."""
+        return int(round(nbytes / self.offpkg_bytes_per_cycle))
+
+
+@dataclass(frozen=True)
+class PowerConfig:
+    """Energy-per-bit constants of Section IV-D [21].
+
+    ``background_mw_per_gb`` optionally adds DRAM background power
+    (refresh, PLL/DLL, standby) proportional to capacity and wall time —
+    disabled by default to match the paper's pure per-bit accounting;
+    ``benchmarks/bench_refresh.py`` explores how it moves Fig 16.
+    """
+
+    dram_core_pj_per_bit: float = 5.0
+    onpkg_link_pj_per_bit: float = 1.66
+    offpkg_link_pj_per_bit: float = 13.0
+    access_bytes: int = 64               # one cache line per memory access
+    background_mw_per_gb: float = 0.0    # ~50 mW/GB is typical for DDR3
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Top-level configuration tying the subsystems together."""
+
+    total_bytes: int = 4 * GB
+    onpkg_bytes: int = 512 * MB
+    latency: LatencyComponents = field(default_factory=LatencyComponents)
+    offpkg_dram: DramTiming = field(default_factory=offpkg_dram_timing)
+    onpkg_dram: DramTiming = field(default_factory=onpkg_dram_timing)
+    caches: CacheHierarchyConfig = field(default_factory=CacheHierarchyConfig)
+    migration: MigrationConfig = field(default_factory=MigrationConfig)
+    bus: BusConfig = field(default_factory=BusConfig)
+    power: PowerConfig = field(default_factory=PowerConfig)
+    frequency_hz: float = 3.2e9
+
+    def __post_init__(self) -> None:
+        # Fail fast: AddressMap validates the geometry.
+        self.address_map()
+
+    def address_map(self) -> AddressMap:
+        return AddressMap(
+            total_bytes=self.total_bytes,
+            onpkg_bytes=self.onpkg_bytes,
+            macro_page_bytes=self.migration.macro_page_bytes,
+            subblock_bytes=self.migration.subblock_bytes,
+        )
+
+    def with_migration(self, **kwargs) -> "SystemConfig":
+        """Return a copy with migration fields replaced."""
+        return replace(self, migration=replace(self.migration, **kwargs))
+
+
+def paper_config(**migration_kwargs) -> SystemConfig:
+    """Table III configuration: 4 GB total, 512 MB on-package."""
+    cfg = SystemConfig()
+    if migration_kwargs:
+        cfg = cfg.with_migration(**migration_kwargs)
+    return cfg
+
+
+def scaled_config(scale: int = 16, **migration_kwargs) -> SystemConfig:
+    """Paper geometry divided by ``scale`` so runs finish quickly.
+
+    Keeps the 12.5% on-package ratio; macro pages are not scaled (they
+    are the experiment variable) but must still fit the shrunken
+    on-package region.
+    """
+    if scale <= 0:
+        raise ConfigError("scale must be positive")
+    cfg = SystemConfig(total_bytes=4 * GB // scale, onpkg_bytes=512 * MB // scale)
+    if migration_kwargs:
+        cfg = cfg.with_migration(**migration_kwargs)
+    return cfg

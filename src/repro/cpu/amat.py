@@ -1,0 +1,104 @@
+"""Post-L3 memory latency of the four Fig 5 organisations.
+
+Section II's Simics comparison prices memory with fixed latencies
+(Table II): off-package = 34 path + 50 DRAM core + 116 queuing = 200
+cycles; on-package = 20 path + 50 core = 70 cycles; the DRAM L4 cache
+hits in 2 x 70 = 140 and adds 70 before a miss goes off-package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..cache.dramcache import DramCacheModel
+from ..cache.stackdist import StackDistanceProfile
+from ..config import LatencyComponents
+from ..errors import ConfigError
+
+#: Table II fixed components of the Simics-style model
+SIMICS_DRAM_CORE_CYCLES = 50
+SIMICS_QUEUING_CYCLES = 116
+
+
+class MemoryOrganization(Enum):
+    """The four bars of Fig 5."""
+
+    BASELINE = "baseline"              # all memory off-package
+    L4_CACHE = "l4-cache"              # on-package DRAM as an L4 cache
+    STATIC_ONPKG = "static-onpkg"      # lowest addresses mapped on-package
+    ALL_ONPKG = "all-onpkg"            # the ideal
+
+
+@dataclass(frozen=True)
+class FixedLatencies:
+    """The fixed-latency memory model of Section II."""
+
+    offpkg: int
+    onpkg: int
+
+    @classmethod
+    def from_components(cls, components: LatencyComponents | None = None) -> "FixedLatencies":
+        c = components or LatencyComponents()
+        return cls(
+            offpkg=c.offpkg_overhead + SIMICS_DRAM_CORE_CYCLES + SIMICS_QUEUING_CYCLES,
+            onpkg=c.onpkg_overhead + SIMICS_DRAM_CORE_CYCLES,
+        )
+
+
+def amat_for_organization(
+    org: MemoryOrganization,
+    profile: StackDistanceProfile,
+    *,
+    onpkg_capacity_bytes: int,
+    l3_capacity_bytes: int,
+    lowaddr_onpkg_fraction: float | None = None,
+    latencies: FixedLatencies | None = None,
+) -> float:
+    """Average latency of one post-L3 memory request under ``org``.
+
+    ``lowaddr_onpkg_fraction`` (STATIC only): fraction of post-L3
+    requests whose address falls in the lowest ``onpkg_capacity_bytes``
+    of memory — computed by the caller from the actual trace.
+    """
+    lat = latencies or FixedLatencies.from_components()
+    if org is MemoryOrganization.BASELINE:
+        return float(lat.offpkg)
+    if org is MemoryOrganization.ALL_ONPKG:
+        return float(lat.onpkg)
+    if org is MemoryOrganization.L4_CACHE:
+        l4 = DramCacheModel(onpkg_capacity_bytes, onpkg_access_cycles=lat.onpkg)
+        # the L4 sees the post-L3 stream; its miss rate must be measured
+        # against references that already missed L3 (inclusion: a post-L3
+        # reference hits L4 iff its stack distance is between the two
+        # capacities)
+        m3 = profile.miss_rate(l3_capacity_bytes)
+        m4 = profile.miss_rate(l4.effective_capacity_bytes)
+        if m3 <= 0:
+            return float(l4.hit_cycles)
+        local_miss = min(1.0, m4 / m3)
+        return (1.0 - local_miss) * l4.hit_cycles + local_miss * (
+            l4.miss_penalty_cycles + lat.offpkg
+        )
+    if org is MemoryOrganization.STATIC_ONPKG:
+        if lowaddr_onpkg_fraction is None:
+            raise ConfigError("STATIC_ONPKG needs lowaddr_onpkg_fraction")
+        f = lowaddr_onpkg_fraction
+        return f * lat.onpkg + (1.0 - f) * lat.offpkg
+    raise ConfigError(f"unknown organization {org}")  # pragma: no cover
+
+
+def static_lowaddr_fraction(
+    addresses: np.ndarray,
+    profile: StackDistanceProfile,
+    l3_capacity_bytes: int,
+    onpkg_capacity_bytes: int,
+) -> float:
+    """Fraction of post-L3 requests served by a static low-address mapping."""
+    mask = profile.miss_mask(l3_capacity_bytes)
+    post_l3 = np.asarray(addresses, dtype=np.int64)[mask]
+    if post_l3.size == 0:
+        return 1.0
+    return float((post_l3 < onpkg_capacity_bytes).mean())

@@ -1,0 +1,60 @@
+"""Open-page bank state machine.
+
+A bank keeps one row open in its row buffer. An access to the open row
+is a *row hit* (CAS only); any other row is a *conflict* (precharge +
+activate + CAS). The bank services one request at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import DramTiming
+
+
+@dataclass
+class Bank:
+    """Mutable bank state used by the event-driven scheduler."""
+
+    timing: DramTiming
+    open_row: int = -1          # -1: no row open (cold)
+    ready_time: int = 0         # cycle when the bank can accept work
+    hits: int = field(default=0, repr=False)
+    conflicts: int = field(default=0, repr=False)
+
+    def would_hit(self, row: int) -> bool:
+        return row == self.open_row
+
+    def service_cycles(self, row: int) -> int:
+        return self.timing.hit_cycles if self.would_hit(row) else self.timing.miss_cycles
+
+    def access(self, row: int, arrival: int, *, write: bool = False) -> tuple[int, int, bool]:
+        """Service one request; returns ``(start, finish, row_hit)``.
+
+        ``start`` is when the bank begins (max of arrival and readiness);
+        the bank then stays busy until ``finish``. A write adds ``t_wr``
+        recovery when the timing models it.
+        """
+        hit = self.would_hit(row)
+        if self.timing.refresh_interval:
+            # all-banks refresh window at the head of every tREFI period
+            phase = arrival % self.timing.refresh_interval
+            arrival += max(0, self.timing.refresh_cycles - phase)
+        start = max(arrival, self.ready_time)
+        # finite-queue backpressure proxy (see DramTiming.max_queue_wait)
+        start = min(start, arrival + self.timing.max_queue_wait)
+        finish = start + (self.timing.hit_cycles if hit else self.timing.miss_cycles)
+        if write:
+            finish += self.timing.t_wr
+        self.open_row = row
+        self.ready_time = finish
+        if hit:
+            self.hits += 1
+        else:
+            self.conflicts += 1
+        return start, finish, hit
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.hits + self.conflicts
+        return self.hits / total if total else 0.0

@@ -1,0 +1,184 @@
+"""Vectorised DRAM model: per-bank FIFO queue + open-page row hits.
+
+For each bank the departure time of request *i* obeys the Lindley-style
+recursion ``D_i = max(a_i, D_{i-1}) + s_i`` with service time ``s_i``
+(row hit or conflict, decided in arrival order against the previous
+request's row). Writing ``S_i = cumsum(s)`` gives
+
+    ``D_i = S_i + cummax_{j<=i}(a_j - S_{j-1})``
+
+which is one sort, one cumsum and one running maximum — no Python-level
+per-access loop. The FIFO order (instead of FR-FCFS's hit-first
+reordering) slightly *underestimates* row-hit rates under load;
+``tests/test_dram_crossvalidate.py`` bounds the disagreement against the
+event-driven reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from .timing import DramGeometry
+
+
+class FastDevice:
+    """Vectorised open-page FIFO DRAM region model."""
+
+    def __init__(self, geometry: DramGeometry):
+        self.geometry = geometry
+        self.row_hits = 0
+        self.row_conflicts = 0
+        # persistent per-queue state so successive chunks continue seamlessly
+        nq = geometry.n_queues
+        self._open_row = np.full(nq, -1, dtype=np.int64)
+        self._ready = np.zeros(nq, dtype=np.int64)
+
+    def reset(self) -> None:
+        self._open_row[:] = -1
+        self._ready[:] = 0
+        self.row_hits = 0
+        self.row_conflicts = 0
+
+    def service(
+        self,
+        addr: np.ndarray,
+        arrivals: np.ndarray,
+        writes: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Per-access latency (cycles), aligned with the input order.
+
+        ``writes`` (optional boolean mask) charges write recovery when
+        the timing's ``t_wr`` is non-zero.
+        """
+        addr = np.asarray(addr, dtype=np.int64)
+        arrivals = np.asarray(arrivals, dtype=np.int64)
+        if addr.shape != arrivals.shape:
+            raise SimulationError("addr and arrivals must align")
+        n = addr.shape[0]
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        if np.any(np.diff(arrivals) < 0):
+            raise SimulationError("arrivals must be non-decreasing")
+
+        timing = self.geometry.timing
+        refresh_delay = None
+        if timing.refresh_interval:
+            # accesses landing in a refresh window (tRFC at the head of
+            # every tREFI period; all banks blocked) start after it ends;
+            # the wait is part of their latency
+            phase = arrivals % timing.refresh_interval
+            refresh_delay = np.maximum(0, timing.refresh_cycles - phase)
+            arrivals = arrivals + refresh_delay
+        queues = self.geometry.queue_of(addr)
+        rows = self.geometry.rows_of(addr)
+
+        # group by queue, stable so within-queue order == arrival order
+        order = np.argsort(queues, kind="stable")
+        q_sorted = queues[order]
+        rows_sorted = rows[order]
+        arr_sorted = arrivals[order]
+
+        # row hit iff same row as previous request in the same queue;
+        # the first request of a queue compares against persistent state
+        prev_rows = np.empty_like(rows_sorted)
+        prev_rows[1:] = rows_sorted[:-1]
+        first_of_queue = np.empty(n, dtype=bool)
+        first_of_queue[0] = True
+        first_of_queue[1:] = q_sorted[1:] != q_sorted[:-1]
+        prev_rows[first_of_queue] = self._open_row[q_sorted[first_of_queue]]
+        hit = rows_sorted == prev_rows
+
+        service = np.where(hit, timing.hit_cycles, timing.miss_cycles).astype(np.int64)
+        if timing.t_wr and writes is not None:
+            service = service + np.asarray(writes, dtype=bool)[order] * timing.t_wr
+
+        # Lindley per queue, vectorised across the whole sorted array by
+        # restarting the cumsum/cummax at queue boundaries.
+        # segment-local inclusive cumsum: subtract, from the global cumsum,
+        # its value just before each segment start (forward-filled — valid
+        # because cumsum is non-decreasing so a running max forward-fills)
+        cs = np.cumsum(service)
+        base_ff = np.maximum.accumulate(
+            np.where(first_of_queue, cs - service, np.int64(np.iinfo(np.int64).min))
+        )
+        S = cs - base_ff  # inclusive segment-local cumsum
+
+        # t_i = a_i - S_{i-1}; for segment starts S_{i-1} (local) = 0 but the
+        # queue may still be busy from an earlier chunk -> fold persistent
+        # readiness in by treating it as a virtual arrival floor.
+        a_eff = arr_sorted.copy()
+        a_eff[first_of_queue] = np.maximum(
+            a_eff[first_of_queue], self._ready[q_sorted[first_of_queue]]
+        )
+        t = a_eff - (S - service)
+        # segmented cummax: reset the running max at each segment start
+        # trick: offset each segment by a huge per-segment constant so a
+        # plain cummax cannot leak across boundaries, then remove it.
+        seg_id = np.cumsum(first_of_queue) - 1
+        # one segment per distinct queue (<= n_queues), so seg_id * BIG
+        # stays far from int64 overflow even for huge t ranges
+        BIG = np.int64(max(1, int(t.max()) - int(t.min()) + 1))
+        t_shifted = t + seg_id * BIG
+        run = np.maximum.accumulate(t_shifted) - seg_id * BIG
+        depart = S + run
+        latency_sorted = depart - arr_sorted
+        # finite-queue backpressure proxy: cap the reported queuing wait
+        cap = timing.max_queue_wait
+        np.minimum(latency_sorted, service + cap, out=latency_sorted)
+
+        # persist state for the next chunk: last row/departure per queue
+        last_of_queue = np.empty(n, dtype=bool)
+        last_of_queue[:-1] = q_sorted[:-1] != q_sorted[1:]
+        last_of_queue[-1] = True
+        self._open_row[q_sorted[last_of_queue]] = rows_sorted[last_of_queue]
+        # carry the backlog, bounded by the finite-queue proxy so an
+        # overload episode cannot grow the queue without limit
+        carried = np.minimum(depart[last_of_queue], arr_sorted[last_of_queue] + cap)
+        self._ready[q_sorted[last_of_queue]] = carried
+
+        nh = int(hit.sum())
+        self.row_hits += nh
+        self.row_conflicts += n - nh
+
+        if timing.channel_bus:
+            # second serialisation stage: each access's data burst occupies
+            # its channel's shared bus for io_cycles, granted in bank-
+            # completion order. Un-contended, the burst overlaps the tail
+            # of the bank service (zero extra); contention queues it.
+            depart_cap = arr_sorted + service + np.minimum(
+                depart - arr_sorted - service, cap
+            )
+            channel = q_sorted // timing.n_banks
+            bus_order = np.lexsort((depart_cap, channel))
+            ch_s = channel[bus_order]
+            f_s = depart_cap[bus_order]
+            first = np.empty(n, dtype=bool)
+            first[0] = True
+            first[1:] = ch_s[1:] != ch_s[:-1]
+            io = np.int64(timing.io_cycles)
+            bus_arr = f_s - io
+            cs_io = np.arange(1, n + 1, dtype=np.int64) * io
+            base = np.maximum.accumulate(
+                np.where(first, cs_io - io, np.int64(np.iinfo(np.int64).min))
+            )
+            S_io = cs_io - base
+            t_bus = bus_arr - (S_io - io)
+            seg_id = np.cumsum(first) - 1
+            big = np.int64(max(1, int(t_bus.max()) - int(t_bus.min()) + 1))
+            run_bus = np.maximum.accumulate(t_bus + seg_id * big) - seg_id * big
+            bus_end = S_io + run_bus
+            extra = np.zeros(n, dtype=np.int64)
+            extra[bus_order] = bus_end - f_s
+            latency_sorted = latency_sorted + np.maximum(0, extra)
+
+        latency = np.empty(n, dtype=np.int64)
+        latency[order] = latency_sorted
+        if refresh_delay is not None:
+            latency += refresh_delay
+        return latency
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_conflicts
+        return self.row_hits / total if total else 0.0

@@ -1,0 +1,88 @@
+"""Latency-path composition (Table II).
+
+Total access latency = fixed path overhead (controller, pins, wires)
++ DRAM service time (queuing + core access, from a device model)
++ the migration layer's translation cost (added by the memory
+controller, not here).
+
+Off-package path: controller processing + 2x controller-to-core link +
+2x package pin + PCB round trip. On-package path: controller processing
++ 2x controller-to-core link + 2x interposer pin + intra-package round
+trip — no package pins or PCB, and queuing is nearly eliminated by the
+128-bank structure (validated in ``tests/test_queuing_claims.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import DramTiming, LatencyComponents, offpkg_dram_timing, onpkg_dram_timing
+from .fastmodel import FastDevice
+from .scheduler import EventDrivenDevice
+from .timing import DramGeometry
+
+
+@dataclass
+class LatencyModel:
+    """One memory region: fixed path overhead + a DRAM device model."""
+
+    components: LatencyComponents
+    timing: DramTiming
+    onpkg: bool
+    detailed: bool = False
+    row_bytes: int = 8192
+
+    def __post_init__(self) -> None:
+        geometry = DramGeometry(self.timing, row_bytes=self.row_bytes)
+        self.device = (
+            EventDrivenDevice(geometry) if self.detailed else FastDevice(geometry)
+        )
+
+    @property
+    def path_overhead(self) -> int:
+        return (
+            self.components.onpkg_overhead
+            if self.onpkg
+            else self.components.offpkg_overhead
+        )
+
+    def access_latency(
+        self, addr: np.ndarray, arrivals: np.ndarray,
+        writes: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Total per-access latency (cycles): overhead + queuing + DRAM."""
+        return self.device.service(addr, arrivals, writes) + self.path_overhead
+
+    def unloaded_latency(self) -> int:
+        """Latency of an isolated row-buffer-conflict access (no queuing)."""
+        return self.path_overhead + self.timing.miss_cycles
+
+
+def make_offpkg_model(
+    components: LatencyComponents | None = None,
+    timing: DramTiming | None = None,
+    *,
+    detailed: bool = False,
+) -> LatencyModel:
+    return LatencyModel(
+        components or LatencyComponents(),
+        timing or offpkg_dram_timing(),
+        onpkg=False,
+        detailed=detailed,
+    )
+
+
+def make_onpkg_model(
+    components: LatencyComponents | None = None,
+    timing: DramTiming | None = None,
+    *,
+    detailed: bool = False,
+) -> LatencyModel:
+    return LatencyModel(
+        components or LatencyComponents(),
+        timing or onpkg_dram_timing(),
+        onpkg=True,
+        detailed=detailed,
+    )

@@ -1,0 +1,55 @@
+"""Address-to-DRAM-index mapping (channel, bank, row).
+
+Open-page systems interleave consecutive rows across channels then
+banks, so streaming accesses hit open rows while spreading load:
+
+* ``channel = (addr / row_bytes) mod n_channels``
+* ``bank    = (addr / (row_bytes * n_channels)) mod n_banks``
+* ``row     =  addr / (row_bytes * n_channels * n_banks)``
+
+Columns (within-row offsets) are absorbed by ``row_bytes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import DramTiming
+from ..errors import ConfigError
+from ..units import is_power_of_two
+
+
+@dataclass(frozen=True)
+class DramGeometry:
+    """Physical index mapping for one DRAM region."""
+
+    timing: DramTiming
+    row_bytes: int = 8192
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.row_bytes):
+            raise ConfigError("row_bytes must be a power of two")
+
+    @property
+    def n_queues(self) -> int:
+        """Independent service queues = channels x banks."""
+        return self.timing.n_channels * self.timing.n_banks
+
+    def decompose(self, addr) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised (channel, bank, row) of byte address(es)."""
+        a = np.asarray(addr, dtype=np.int64) // self.row_bytes
+        channel = a % self.timing.n_channels
+        a //= self.timing.n_channels
+        bank = a % self.timing.n_banks
+        row = a // self.timing.n_banks
+        return channel, bank, row
+
+    def queue_of(self, addr) -> np.ndarray:
+        """Flat queue index (channel-major) of byte address(es)."""
+        channel, bank, row = self.decompose(addr)
+        return channel * self.timing.n_banks + bank
+
+    def rows_of(self, addr) -> np.ndarray:
+        return self.decompose(addr)[2]

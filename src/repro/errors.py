@@ -1,0 +1,39 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch a single base class at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class AddressError(ReproError):
+    """An address is outside the configured physical space or misaligned."""
+
+
+class TraceError(ReproError):
+    """A trace file or trace chunk is malformed."""
+
+
+class MigrationError(ReproError):
+    """The migration state machine was driven into an illegal transition."""
+
+
+class TranslationTableError(MigrationError):
+    """The physical<->machine translation table invariants were violated."""
+
+
+class SimulationError(ReproError):
+    """A simulator was misused (e.g. fed records out of time order)."""
+
+
+class WorkloadError(ReproError):
+    """Unknown workload name or invalid workload parameters."""

@@ -1,0 +1,12 @@
+"""Experiment runners — one per table/figure of the paper.
+
+Each module exposes ``run(fast=True) -> Table`` (or a list of tables)
+printing the same rows/series the paper reports, on the scaled geometry
+documented in :mod:`repro.experiments.common` and EXPERIMENTS.md. The
+``repro-experiments`` CLI (``python -m repro.experiments``) dispatches
+by experiment id.
+"""
+
+from . import common
+
+__all__ = ["common"]

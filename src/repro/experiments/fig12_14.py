@@ -1,0 +1,62 @@
+"""Figs 12-14: Live-Migration latency vs granularity, one figure per
+swap interval (1K / 10K / 100K accesses).
+
+Shape criteria: the most frequent interval (Fig 12) reaches the lowest
+minima; the optimal granularity is workload-dependent and shifts with
+the interval.
+"""
+
+from __future__ import annotations
+
+from ..config import MigrationAlgorithm
+from ..stats.report import Table, format_cycles
+from ..units import KB
+from .common import (
+    GRANULARITIES,
+    SWAP_INTERVALS,
+    all_migration_workloads,
+    default_accesses,
+)
+from .fig11 import simulate
+
+FIGURE_OF_INTERVAL = {1_000: "Fig 12", 10_000: "Fig 13", 100_000: "Fig 14"}
+
+
+def latency_grid(
+    interval: int, n: int, granularities=GRANULARITIES, workloads=None
+) -> dict[str, list[float]]:
+    workloads = workloads or all_migration_workloads()
+    grid: dict[str, list[float]] = {}
+    for workload in workloads:
+        grid[workload] = [
+            simulate(workload, MigrationAlgorithm.LIVE, g, interval, n).average_latency
+            for g in granularities
+        ]
+    return grid
+
+
+def run(fast: bool = True) -> list[Table]:
+    n = min(default_accesses(), 400_000) if fast else default_accesses()
+    grans = (4 * KB, 64 * KB, 1024 * KB) if fast else GRANULARITIES
+    workloads = all_migration_workloads()[:3] if fast else all_migration_workloads()
+    tables = []
+    for interval in SWAP_INTERVALS:
+        grid = latency_grid(interval, n, grans, workloads)
+        table = Table(
+            f"{FIGURE_OF_INTERVAL[interval]} — Live Migration avg latency "
+            f"(cycles), interval = {interval}",
+            ["workload"] + [f"{g // KB}KB" for g in grans],
+        )
+        for workload, series in grid.items():
+            table.add_row(workload, *[format_cycles(v) for v in series])
+        tables.append(table)
+    tables[-1].add_footnote(
+        "minima should be lowest at the 1K interval; optimum granularity "
+        "varies per workload"
+    )
+    return tables
+
+
+if __name__ == "__main__":
+    for t in run():
+        t.print()

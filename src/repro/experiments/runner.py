@@ -1,0 +1,58 @@
+"""CLI: regenerate any of the paper's tables/figures.
+
+    python -m repro.experiments.runner fig11 --full
+    repro-experiments table4
+    repro-experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import fig4, fig5, fig10, fig11, fig12_14, fig15, fig16, table1, table2_3, table4
+
+EXPERIMENTS = {
+    "table1": table1.run,
+    "table2": table2_3.run_table2,
+    "table3": table2_3.run_table3,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12-14": fig12_14.run,
+    "fig15": fig15.run,
+    "fig16": fig16.run,
+    "table4": table4.run,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id (table/figure number) or 'all'",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full grids and trace lengths (slower; default is a fast subset)",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        t0 = time.time()
+        out = EXPERIMENTS[name](fast=not args.full)
+        for table in out if isinstance(out, list) else [out]:
+            table.print()
+        print(f"[{name} done in {time.time() - t0:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,74 @@
+"""Tables II and III: the simulation configurations, printed from the
+live config objects (so the printout can never drift from the code)."""
+
+from __future__ import annotations
+
+from ..config import SystemConfig, paper_config
+from ..stats.report import Table
+from ..units import format_size
+from ..workloads.npb import NPB_FOOTPRINTS_MB
+from .common import FOOTPRINT_RATIO, MIGRATION_SCALE, migration_config
+
+
+def run_table2(fast: bool = True) -> Table:
+    cfg = SystemConfig()
+    c, t = cfg.latency, cfg.offpkg_dram
+    table = Table(
+        "Table II — baseline processor and latency components (from repro.config)",
+        ["parameter", "value"],
+    )
+    rows = [
+        ("cores / frequency", f"{cfg.caches.n_cores} x {cfg.frequency_hz / 1e9:.1f} GHz"),
+        ("L1 (I+D, private)", f"{format_size(cfg.caches.l1.capacity_bytes)}, "
+                              f"{cfg.caches.l1.ways}-way, {cfg.caches.l1.latency_cycles}-cycle"),
+        ("L2 (private)", f"{format_size(cfg.caches.l2.capacity_bytes)}, "
+                         f"{cfg.caches.l2.ways}-way, {cfg.caches.l2.latency_cycles}-cycle"),
+        ("L3 (shared)", f"{format_size(cfg.caches.l3.capacity_bytes)}, "
+                        f"{cfg.caches.l3.ways}-way, {cfg.caches.l3.latency_cycles}-cycle"),
+        ("memory controller processing", f"{c.controller_processing}-cycle"),
+        ("controller-to-core", f"{c.controller_to_core_each_way}-cycle each way"),
+        ("package pin", f"{c.package_pin_each_way}-cycle each way"),
+        ("PCB wire", f"{c.pcb_wire_round_trip}-cycle round-trip"),
+        ("interposer pin", f"{c.interposer_pin_each_way}-cycle each way"),
+        ("intra-package wire", f"{c.intra_package_round_trip}-cycle round-trip"),
+        ("off-package path total", f"{c.offpkg_overhead}-cycle"),
+        ("on-package path total", f"{c.onpkg_overhead}-cycle"),
+        ("off-package DRAM", f"{t.n_channels} ch x {t.n_banks} banks, "
+                             f"hit {t.hit_cycles} / conflict {t.miss_cycles} cycles"),
+        ("on-package DRAM", f"{cfg.onpkg_dram.n_banks} banks, "
+                            f"hit {cfg.onpkg_dram.hit_cycles} / conflict "
+                            f"{cfg.onpkg_dram.miss_cycles} cycles"),
+    ]
+    for name, value in rows:
+        table.add_row(name, value)
+    return table
+
+
+def run_table3(fast: bool = True) -> Table:
+    paper = paper_config()
+    scaled = migration_config()
+    table = Table(
+        "Table III — trace-simulation parameters (paper vs scaled run)",
+        ["parameter", "paper", f"scaled (1/{MIGRATION_SCALE})"],
+    )
+    table.add_row("total memory", format_size(paper.total_bytes), format_size(scaled.total_bytes))
+    table.add_row("on-package memory", format_size(paper.onpkg_bytes), format_size(scaled.onpkg_bytes))
+    table.add_row("macro page size", "4KB .. 4MB", "4KB .. 4MB (unscaled)")
+    table.add_row("sub-block size", format_size(paper.migration.subblock_bytes),
+                  format_size(scaled.migration.subblock_bytes))
+    table.add_row("swap intervals", "1K / 10K / 100K accesses", "same")
+    for workload, ratio in FOOTPRINT_RATIO.items():
+        paper_fp = (
+            f"{NPB_FOOTPRINTS_MB[workload]}MB" if workload in NPB_FOOTPRINTS_MB
+            else "> 2GB"
+        )
+        from .common import scaled_footprint
+
+        table.add_row(f"workload {workload}", paper_fp, format_size(scaled_footprint(workload)))
+    table.add_footnote("all six migration-study footprints exceed the on-package size")
+    return table
+
+
+if __name__ == "__main__":
+    run_table2().print()
+    run_table3().print()

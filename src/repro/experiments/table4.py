@@ -1,0 +1,94 @@
+"""Table IV: per-workload effectiveness of controller-based migration.
+
+For each of the six workloads: the DRAM core latency, the latency
+without migration (static mapping), the best latency with migration over
+a (granularity x interval) grid, and the effectiveness η. The paper's
+average η is 83% with 512 MB on-package out of 4 GB (12.5%); we use the
+measured all-on-package latency as the η floor (see
+:mod:`repro.core.metrics`).
+"""
+
+from __future__ import annotations
+
+from ..config import MigrationAlgorithm
+from ..core.hetero_memory import HeterogeneousMainMemory, baseline_latency
+from ..core.metrics import EffectivenessReport
+from ..stats.report import Table
+from ..units import KB
+from .common import (
+    all_migration_workloads,
+    default_accesses,
+    migration_config,
+    migration_trace,
+)
+from .fig11 import simulate
+
+#: the grid searched for "best latency w/ migration"
+BEST_GRID_PAGES = (4 * KB, 16 * KB, 64 * KB, 256 * KB, 1024 * KB)
+BEST_GRID_INTERVALS = (1_000, 10_000)
+
+#: Table IV compares steady states: the paper's runs are ~10^6x longer
+#: than a scaled trace, so the converged tail is the comparable number
+TAIL_FRACTION = 0.5
+
+
+def best_migrated_latency(workload: str, n: int) -> tuple[float, tuple[int, int]]:
+    best, best_cfg = float("inf"), (0, 0)
+    for page in BEST_GRID_PAGES:
+        for interval in BEST_GRID_INTERVALS:
+            res = simulate(workload, MigrationAlgorithm.LIVE, page, interval, n)
+            tail = res.tail_average_latency(TAIL_FRACTION)
+            if tail < best:
+                best, best_cfg = tail, (page, interval)
+    return best, best_cfg
+
+
+def reports(n: int | None = None, workloads=None) -> list[EffectivenessReport]:
+    n = n or default_accesses()
+    workloads = workloads or all_migration_workloads()
+    cfg = migration_config()
+    out = []
+    for workload in workloads:
+        trace = migration_trace(workload, n)
+        static = baseline_latency(cfg, trace, "static")
+        ideal = baseline_latency(cfg, trace, "all-onpkg")
+        best, _ = best_migrated_latency(workload, n)
+        # observed off-package service mix = the Table IV "DRAM core" row
+        system = HeterogeneousMainMemory(cfg, migrate=False)
+        system.run(trace)
+        out.append(
+            EffectivenessReport(
+                workload=workload,
+                dram_core_latency=system.dram_core_latency(),
+                latency_without_migration=static.average_latency,
+                latency_with_migration=best,
+                floor_latency=ideal.average_latency,
+            )
+        )
+    return out
+
+
+def run(fast: bool = True) -> Table:
+    n = min(default_accesses(), 400_000) if fast else default_accesses()
+    workloads = all_migration_workloads()[:3] if fast else all_migration_workloads()
+    rows = reports(n, workloads)
+    table = Table(
+        "Table IV — effectiveness of memory-controller-based data migration",
+        ["workload", "DRAM core (cy)", "w/o migration", "best w/", "ideal", "η"],
+    )
+    for r in rows:
+        table.add_row(
+            r.workload,
+            f"{r.dram_core_latency:.0f}",
+            f"{r.latency_without_migration:.1f}",
+            f"{r.latency_with_migration:.1f}",
+            f"{r.floor_latency:.1f}",
+            f"{min(1.0, r.effectiveness):.1%}",
+        )
+    avg = sum(min(1.0, r.effectiveness) for r in rows) / len(rows)
+    table.add_footnote(f"average effectiveness = {avg:.1%} (paper: 83%)")
+    return table
+
+
+if __name__ == "__main__":
+    run().print()

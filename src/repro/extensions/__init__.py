@@ -1,0 +1,14 @@
+"""Beyond-paper extensions.
+
+The paper closes Section IV-B observing that "it is necessary for the
+memory controller to adaptively change the migration granularity
+according to different types of workloads" but leaves the mechanism
+open. :mod:`repro.extensions.adaptive` implements one — an online
+hill-climbing controller over the granularity ladder — and
+``benchmarks/bench_adaptive.py`` evaluates it against every fixed
+granularity.
+"""
+
+from .adaptive import AdaptiveGranularitySimulator, AdaptiveResult
+
+__all__ = ["AdaptiveGranularitySimulator", "AdaptiveResult"]

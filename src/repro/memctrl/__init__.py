@@ -1,0 +1,17 @@
+"""On-chip memory controller models.
+
+:class:`~repro.memctrl.conventional.ConventionalController` is Fig 2's
+controller (one scheduling stage, everything off-package).
+:class:`~repro.memctrl.heterogeneous.HeterogeneousController` is Fig 3's
+heterogeneity-aware controller: the address-translation stage moved
+*ahead* of transaction scheduling so each access routes to the
+on-package or off-package region first, the two regions schedule
+independently, and a migration controller rewrites the physical->machine
+mapping at run time.
+"""
+
+from .routing import RegionRouter
+from .conventional import ConventionalController
+from .heterogeneous import HeterogeneousController
+
+__all__ = ["RegionRouter", "ConventionalController", "HeterogeneousController"]

@@ -1,0 +1,166 @@
+"""Fig 3: the heterogeneity-aware on-chip memory controller.
+
+The pipeline order change is the architectural point: **address
+translation comes first** (physical -> machine via the migration layer's
+table), then the access routes to the on-package or off-package region,
+and each region runs its own transaction scheduling — the two regions'
+optimisations are independent. The optional migration controller
+rewrites the table at run time; this module consumes its routing
+timelines, fill state and stall windows to price every access at its
+own timestamp.
+
+Every translated access pays the table's 2-cycle RAM/CAM lookup
+(Section III-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..address import AddressMap
+from ..config import SystemConfig
+from ..dram.latency import LatencyModel
+from ..errors import SimulationError
+from ..migration.engine import ActiveMigration
+from ..migration.overhead import translation_cycles
+from ..migration.table import TranslationTable
+from ..trace.record import TraceChunk
+from ..units import log2_exact
+from .routing import RegionRouter
+
+
+class HeterogeneousController:
+    """Translate-first, split-schedule memory controller."""
+
+    def __init__(self, config: SystemConfig, *, detailed: bool = False,
+                 translation_overhead: bool = True):
+        self.config = config
+        #: static (no-migration) systems decode regions from MSBs for free
+        self.translation_overhead = translation_overhead
+        self.amap: AddressMap = config.address_map()
+        self.router = RegionRouter(self.amap)
+        self.onpkg_model = LatencyModel(
+            config.latency, config.onpkg_dram, onpkg=True, detailed=detailed
+        )
+        self.offpkg_model = LatencyModel(
+            config.latency, config.offpkg_dram, onpkg=False, detailed=detailed
+        )
+        self._sb_shift = log2_exact(self.amap.subblock_bytes)
+        self.accesses = 0
+        self.total_latency = 0
+        self.onpkg_accesses = 0
+        self.offpkg_accesses = 0
+
+    # ------------------------------------------------------------------
+    def resolve_chunk(
+        self,
+        chunk: TraceChunk,
+        table: TranslationTable,
+        active: ActiveMigration | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-access ``(on_package, machine_page)`` honouring in-flight swaps."""
+        pages = self.amap.page_of(chunk.addr)
+        on, machine = table.resolve_many(pages)
+        on = on.copy()
+        machine = machine.copy()
+        if active is None:
+            return on, machine
+
+        times = chunk.time
+        for page, timeline in active.timelines.items():
+            mask = pages == page
+            if not mask.any():
+                continue
+            change_times = np.array([t for t, _, _ in timeline], dtype=np.int64)
+            ons = np.array([o for _, o, _ in timeline], dtype=bool)
+            machines = np.array([m for _, _, m in timeline], dtype=np.int64)
+            idx = np.searchsorted(change_times, times[mask], side="right") - 1
+            on[mask] = ons[idx]
+            machine[mask] = machines[idx]
+
+        fill = active.fill
+        if fill is not None:
+            mask = (pages == fill.page) & (times >= fill.start) & (times < fill.end)
+            if mask.any():
+                subblocks = (self.amap.offset_of(chunk.addr[mask])) >> self._sb_shift
+                ready = fill.available_at(subblocks)
+                served_on = times[mask] >= ready
+                on_sub = np.where(served_on, True, False)
+                mach_sub = np.where(served_on, fill.slot, fill.old_machine)
+                on[mask] = on_sub
+                machine[mask] = mach_sub
+        return on, machine
+
+    def service_chunk(
+        self,
+        chunk: TraceChunk,
+        table: TranslationTable,
+        active: ActiveMigration | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Latency of each access in a time-ordered chunk.
+
+        Returns ``(latencies, onpkg_mask, machine_page)``. The chunk must
+        not start before previously serviced chunks (device state is
+        persistent).
+        """
+        n = len(chunk)
+        if n == 0:
+            return (
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=bool),
+                np.zeros(0, dtype=np.int64),
+            )
+        on, machine = self.resolve_chunk(chunk, table, active)
+        offsets = self.amap.offset_of(chunk.addr)
+        times = chunk.time.astype(np.int64, copy=True)
+        latency = np.zeros(n, dtype=np.int64)
+
+        # N design: execution halts while the swap copies data
+        stall_extra = np.zeros(n, dtype=np.int64)
+        if active is not None and active.stall:
+            stalled = (times >= active.start) & (times < active.end)
+            stall_extra[stalled] = active.end - times[stalled]
+            times = times + stall_extra  # issue after the stall
+
+        if np.any(np.diff(times) < 0):
+            # stalls only push times forward to a common floor, so order
+            # is preserved; anything else is a caller bug
+            raise SimulationError("chunk times must be non-decreasing")
+
+        writes = chunk.rw != 0
+        if on.any():
+            sel = np.flatnonzero(on)
+            local = self.router.onpkg_local_address(machine[sel], offsets[sel])
+            latency[sel] = self.onpkg_model.access_latency(
+                local, times[sel], writes[sel]
+            )
+        if (~on).any():
+            sel = np.flatnonzero(~on)
+            local = self.router.offpkg_local_address(machine[sel], offsets[sel])
+            lat = self.offpkg_model.access_latency(local, times[sel], writes[sel])
+            if active is not None and not active.stall:
+                # background copy traffic shares the DDR channel
+                window = (times[sel] >= active.start) & (times[sel] < active.end)
+                lat = lat + window * self.config.migration.interference_cycles
+            latency[sel] = lat
+
+        if self.translation_overhead:
+            latency += translation_cycles(
+                self.config.migration.os_assisted,
+                hw_cycles=self.config.migration.hw_translation_cycles,
+            )
+        latency += stall_extra
+
+        self.accesses += n
+        self.total_latency += int(latency.sum())
+        self.onpkg_accesses += int(on.sum())
+        self.offpkg_accesses += n - int(on.sum())
+        return latency, on, machine
+
+    @property
+    def average_latency(self) -> float:
+        return self.total_latency / self.accesses if self.accesses else 0.0
+
+    @property
+    def onpkg_fraction(self) -> float:
+        return self.onpkg_accesses / self.accesses if self.accesses else 0.0

@@ -1,0 +1,41 @@
+"""Region decode: machine address MSBs select on- vs off-package.
+
+Section II-A: "MSBs of physical memory addresses are used to decode the
+target location" — machine pages below N (the on-package slot count) map
+to the on-package region; everything above goes to the DIMMs. Static
+mapping (no migration) is exactly this decode applied to unmodified
+physical addresses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..address import AddressMap
+
+
+class RegionRouter:
+    """Compose machine addresses and split them by region."""
+
+    def __init__(self, amap: AddressMap):
+        self.amap = amap
+
+    def machine_address(self, machine_page: np.ndarray, offset: np.ndarray) -> np.ndarray:
+        """Rebuild full machine byte addresses (vectorised)."""
+        return (
+            np.asarray(machine_page, dtype=np.int64) << self.amap.offset_bits
+        ) | np.asarray(offset, dtype=np.int64)
+
+    def split(self, machine_page: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(onpkg_mask, offpkg_mask)`` from the MSB decode."""
+        on = self.amap.is_onpkg_machine_page(machine_page)
+        return on, ~on
+
+    def onpkg_local_address(self, machine_page: np.ndarray, offset: np.ndarray) -> np.ndarray:
+        """Address within the on-package region (slot-local)."""
+        return self.machine_address(machine_page, offset)
+
+    def offpkg_local_address(self, machine_page: np.ndarray, offset: np.ndarray) -> np.ndarray:
+        """Address within the off-package region (0-based at the DIMMs)."""
+        page = np.asarray(machine_page, dtype=np.int64) - self.amap.n_onpkg_pages
+        return self.machine_address(page, offset)

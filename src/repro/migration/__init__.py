@@ -1,0 +1,39 @@
+"""The migration layer — the paper's primary contribution.
+
+A second level of address translation (physical page -> machine page)
+lives in the on-chip memory controller. The
+:class:`~repro.migration.table.TranslationTable` is the bidirectional
+RAM/CAM structure of Fig 6/7/9 with its pending (P) and filling (F)
+bits; :mod:`~repro.migration.algorithms` builds the exact step sequences
+of Fig 8 for the four swap cases; :mod:`~repro.migration.policies`
+implements the clock-pseudo-LRU coldest tracker and multi-queue hottest
+tracker; :class:`~repro.migration.engine.MigrationEngine` monitors
+epochs and drives hottest-coldest swaps under the N / N-1 / Live
+Migration timing disciplines; :mod:`~repro.migration.overhead` prices
+the hardware (Fig 10) and the OS-assisted alternative.
+"""
+
+from .table import EMPTY, PageCategory, TranslationTable
+from .algorithms import CopyStep, SwapCase, TableUpdate, build_swap_steps, classify_case
+from .policies import EpochMonitor, ExactPolicies
+from .engine import ActiveMigration, MigrationEngine, SwapDecision
+from .overhead import hardware_bits, os_assisted_update_cycles, translation_cycles
+
+__all__ = [
+    "EMPTY",
+    "PageCategory",
+    "TranslationTable",
+    "SwapCase",
+    "CopyStep",
+    "TableUpdate",
+    "classify_case",
+    "build_swap_steps",
+    "EpochMonitor",
+    "ExactPolicies",
+    "MigrationEngine",
+    "ActiveMigration",
+    "SwapDecision",
+    "hardware_bits",
+    "os_assisted_update_cycles",
+    "translation_cycles",
+]

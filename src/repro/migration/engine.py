@@ -1,0 +1,310 @@
+"""The migration controller (Fig 3's "Migration Controller" box).
+
+At each epoch boundary (every ``swap_interval`` memory accesses) the
+engine compares the hottest off-package macro page against the coldest
+on-package one and, if the hottest was accessed more often, schedules a
+hottest-coldest swap (Section III-A):
+
+* **N** — the whole exchange stalls execution (no empty slot to overlap
+  with);
+* **N-1** — the Fig 8 step sequence runs in the background; the incoming
+  page keeps being served off-package until its copy-in completes;
+* **Live** — the incoming page is available sub-block by sub-block,
+  critical (most-recently-used) sub-block first with wraparound (Fig 9).
+
+While a swap is in flight the P/F bits block re-triggering, exactly as
+in the paper ("the existence of P bit and F bit prevents triggering
+another swap if the previous swap is not complete yet").
+
+The engine applies a scheduled plan's table updates eagerly while
+recording a *routing timeline* — ``(time, on_package, machine_page)``
+change points — for every page the swap touches. The epoch simulator
+overrides those few pages' resolution per access time; every other page
+resolves through the table's dense mirrors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..address import AddressMap
+from ..config import BusConfig, MigrationConfig, MigrationAlgorithm
+from ..errors import MigrationError
+from .algorithms import (
+    CopyStep,
+    SwapPlan,
+    TableUpdate,
+    build_basic_swap_steps,
+    build_swap_steps,
+)
+from .policies import EpochMonitor
+from .table import EMPTY, TranslationTable
+
+
+@dataclass(frozen=True)
+class FillInfo:
+    """Timing of the incoming hot page's copy-in."""
+
+    page: int
+    slot: int
+    start: int                  # cycle the copy-in begins
+    end: int                    # cycle the last byte lands
+    subblock_cycles: int        # transfer time of one sub-block
+    n_subblocks: int
+    first_subblock: int         # critical-first start point (MRU sub-block)
+    live: bool                  # sub-block granularity vs whole page
+    old_onpkg: bool
+    old_machine: int
+
+    def available_at(self, subblock: np.ndarray) -> np.ndarray:
+        """Cycle each sub-block becomes servable on-package (vectorised)."""
+        sb = np.asarray(subblock, dtype=np.int64)
+        if not self.live:
+            return np.full(sb.shape, self.end, dtype=np.int64)
+        order = (sb - self.first_subblock) % self.n_subblocks
+        return self.start + (order + 1) * self.subblock_cycles
+
+
+@dataclass
+class ActiveMigration:
+    """One in-flight (or just-completed) swap with its routing timelines."""
+
+    plan: SwapPlan
+    start: int
+    end: int
+    fill: FillInfo | None
+    #: page -> [(change_time, on_package, machine_page)], time-ascending;
+    #: resolution before the first entry is the pre-swap state
+    timelines: dict[int, list[tuple[int, bool, int]]] = field(default_factory=dict)
+
+    @property
+    def stall(self) -> bool:
+        return self.plan.stall
+
+    def in_flight(self, now: int) -> bool:
+        return now < self.end
+
+
+@dataclass(frozen=True)
+class SwapDecision:
+    """Outcome of one epoch-boundary evaluation (for logging/tests)."""
+
+    triggered: bool
+    reason: str
+    mru: int | None = None
+    lru: int | None = None
+
+
+class MigrationEngine:
+    """Epoch monitor + trigger + plan scheduler."""
+
+    def __init__(
+        self,
+        amap: AddressMap,
+        config: MigrationConfig,
+        bus: BusConfig | None = None,
+    ):
+        self.amap = amap
+        self.config = config
+        self.bus = bus or BusConfig()
+        basic = config.algorithm == MigrationAlgorithm.N
+        self.table = TranslationTable(amap, reserve_empty_slot=not basic)
+        self.monitor = EpochMonitor(amap.n_onpkg_pages)
+        self.active: ActiveMigration | None = None
+        self.swaps_triggered = 0
+        self.swaps_suppressed_busy = 0
+        self.swaps_suppressed_cold = 0
+        self.migrated_bytes = 0
+        self.cross_boundary_bytes = 0
+
+    # ------------------------------------------------------------------
+    def observe_epoch(
+        self,
+        slots: np.ndarray,
+        slot_times: np.ndarray,
+        offpkg_pages: np.ndarray,
+        off_times: np.ndarray,
+        off_subblocks: np.ndarray | None = None,
+    ) -> None:
+        """Feed one epoch's accesses to the recency/frequency trackers."""
+        self.monitor.observe_epoch(slots, slot_times, offpkg_pages, off_times)
+        if off_subblocks is not None and np.asarray(offpkg_pages).size:
+            off = np.asarray(offpkg_pages, dtype=np.int64)
+            pages, inverse = np.unique(off, return_inverse=True)
+            last_idx = np.zeros(pages.shape[0], dtype=np.int64)
+            last_idx[inverse] = np.arange(off.shape[0])
+            self._last_subblock = dict(
+                zip(pages.tolist(), np.asarray(off_subblocks)[last_idx].tolist())
+            )
+        else:
+            self._last_subblock = {}
+
+    def maybe_swap(self, now: int) -> SwapDecision:
+        """Epoch-boundary evaluation: trigger a hottest-coldest swap?"""
+        if self.active is not None and self.active.in_flight(now):
+            self.swaps_suppressed_busy += 1
+            self.monitor.new_epoch()
+            return SwapDecision(False, "previous swap still in flight (P/F busy)")
+
+        hottest = self.monitor.hottest_page()
+        if hottest is None:
+            self.monitor.new_epoch()
+            return SwapDecision(False, "no off-package accesses this epoch")
+        mru_page, mru_count = hottest
+
+        # never migrate the reserved ghost page
+        if mru_page == self.amap.ghost_page:
+            self.monitor.new_epoch()
+            return SwapDecision(False, "hottest page is the reserved Ω page")
+
+        # the page may have finished migrating on-package during the very
+        # epoch whose counts flagged it (it was served off-package while
+        # its fill was in flight) — hardware drops it from the multi-queue
+        # at migration time; here we skip the stale candidate
+        if bool(self.table.onpkg[mru_page]):
+            self.monitor.new_epoch()
+            return SwapDecision(False, f"hottest page {mru_page} already on-package")
+
+        empty = self.table.empty_slot()
+        exclude = {empty} if empty is not None else set()
+        if len(exclude) >= self.table.n_slots:
+            # degenerate N-1 geometry: a single slot, and it is the empty
+            # one — there is nothing to demote, so nothing to swap
+            self.monitor.new_epoch()
+            return SwapDecision(False, "no occupied on-package slot to demote")
+        lru_slot = self.monitor.coldest_slot(exclude=exclude)
+        lru_page = self.table.page_in_slot(lru_slot)
+        if lru_page == EMPTY:
+            self.monitor.new_epoch()
+            return SwapDecision(False, "coldest slot is empty")
+
+        if self.config.hottest_coldest_trigger:
+            lru_count = self.monitor.slot_epoch_count(lru_slot)
+            if mru_count <= lru_count:
+                self.swaps_suppressed_cold += 1
+                self.monitor.new_epoch()
+                return SwapDecision(
+                    False,
+                    f"MRU count {mru_count} <= LRU count {lru_count}",
+                    mru=mru_page,
+                    lru=lru_page,
+                )
+
+        first_subblock = int(getattr(self, "_last_subblock", {}).get(mru_page, 0))
+        self._schedule(now, mru_page, lru_page, first_subblock)
+        self.monitor.new_epoch()
+        return SwapDecision(True, "hottest-coldest swap", mru=mru_page, lru=lru_page)
+
+    # ------------------------------------------------------------------
+    def _copy_cycles(self, step: CopyStep) -> int:
+        bw = (
+            self.bus.offpkg_bytes_per_cycle
+            if step.cross_boundary
+            else self.bus.onpkg_bytes_per_cycle
+        )
+        return max(1, int(round(step.nbytes / bw)))
+
+    def _schedule(self, now: int, mru: int, lru: int, first_subblock: int) -> None:
+        cfg = self.config
+        if cfg.algorithm == MigrationAlgorithm.N:
+            plan = build_basic_swap_steps(self.table, mru, lru)
+        else:
+            plan = build_swap_steps(self.table, mru, lru)
+        live = cfg.algorithm == MigrationAlgorithm.LIVE
+
+        affected = self._affected_pages(plan)
+        # walk the plan, applying updates eagerly and recording when each
+        # affected page's resolution changes; entry 0 is the pre-swap state
+        before = {p: self.table.resolve(p) for p in affected}
+        t_begin = np.int64(-(1 << 62))
+        timelines: dict[int, list[tuple[int, bool, int]]] = {
+            p: [(int(t_begin), before[p][0], before[p][1])] for p in affected
+        }
+        t = now
+        fill: FillInfo | None = None
+        incoming_end = None
+        for step in plan.steps:
+            if isinstance(step, CopyStep):
+                duration = self._copy_cycles(step)
+                if step.incoming:
+                    n_sb = self.amap.subblocks_per_page
+                    fill = FillInfo(
+                        page=plan.mru,
+                        slot=step.dest_slot,
+                        start=t,
+                        end=t + duration,
+                        subblock_cycles=max(1, duration // n_sb),
+                        n_subblocks=n_sb,
+                        first_subblock=(
+                            first_subblock if cfg.critical_block_first else 0
+                        ),
+                        live=live,
+                        old_onpkg=before[plan.mru][0],
+                        old_machine=before[plan.mru][1],
+                    )
+                    incoming_end = t + duration
+                t += duration
+                # a completed incoming copy clears the F bit
+                if step.incoming and self.table.filling:
+                    self.table.end_fill()
+                    self._record_changes(timelines, before, t)
+            else:
+                if cfg.os_assisted:
+                    # the OS periodic routine performs the table update: a
+                    # user/kernel round trip before the new mapping is live
+                    t += cfg.os_update_cycles
+                step.apply(self.table)
+                self._record_changes(timelines, before, t)
+
+        if plan.stall:
+            # N design: the table is updated only once data finished moving,
+            # and execution halts — every affected page flips at `now` from
+            # the observer's perspective (nothing runs during the window)
+            for page, tl in timelines.items():
+                final = tl[-1]
+                timelines[page] = [tl[0], (now, final[1], final[2])]
+
+        self.active = ActiveMigration(
+            plan=plan, start=now, end=t, fill=None if plan.stall else fill,
+            timelines=timelines,
+        )
+        self.swaps_triggered += 1
+        self.migrated_bytes += plan.total_copy_bytes
+        self.cross_boundary_bytes += plan.cross_boundary_bytes
+        if incoming_end is None:
+            raise MigrationError("swap plan has no incoming copy")  # pragma: no cover
+
+    def _affected_pages(self, plan: SwapPlan) -> set[int]:
+        pages = {plan.mru, plan.lru}
+        empty = self.table.empty_slot()
+        if empty is not None:
+            pages.add(empty)  # the ghost page
+        for page in (plan.mru, plan.lru):
+            if page < self.table.n_slots:
+                partner = self.table.page_in_slot(page)
+                if partner != EMPTY:
+                    pages.add(partner)
+            slot = self.table.slot_of(page)
+            if slot is not None:
+                pages.add(slot)  # the slot's own (possibly MS/ghost) page
+        pages.discard(EMPTY)
+        return pages
+
+    def _record_changes(
+        self,
+        timelines: dict[int, list[tuple[int, bool, int]]],
+        before: dict[int, tuple[bool, int]],
+        t: int,
+    ) -> None:
+        for page, old in before.items():
+            new = self.table.resolve(page)
+            if new != old:
+                timelines[page].append((t, new[0], new[1]))
+                before[page] = new
+
+    # ------------------------------------------------------------------
+    @property
+    def busy_until(self) -> int:
+        return self.active.end if self.active is not None else 0

@@ -1,0 +1,123 @@
+"""Hot/cold page tracking policies.
+
+The hardware (Section III-B) tracks the on-package LRU macro page with a
+clock-based pseudo-LRU bitmap (one bit per slot) and the off-package MRU
+macro page with a 3-level x 10-entry multi-queue:
+
+* :class:`ExactPolicies` — those exact structures, updated per access;
+  used by the detailed simulator and the policy unit tests.
+* :class:`EpochMonitor` — the vectorised equivalent used by the epoch
+  simulator: coldest = on-package slot with the oldest last touch (what
+  the clock hand converges to), hottest = off-package page with the
+  highest epoch access count, recency-tie-broken (what the multi-queue
+  surfaces). ``tests/test_policies.py`` checks the two agree on shared
+  streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cache.replacement import ClockPseudoLRU, MultiQueue
+from ..errors import MigrationError
+
+
+class ExactPolicies:
+    """Per-access clock pseudo-LRU (slots) + multi-queue (off-pkg pages)."""
+
+    def __init__(self, n_slots: int, *, mq_levels: int = 3, mq_capacity: int = 10):
+        self.clock = ClockPseudoLRU(n_slots)
+        self.mq = MultiQueue(mq_levels, mq_capacity)
+
+    def observe(self, *, slot: int | None, offpkg_page: int | None) -> None:
+        """Record one access: it hit a slot (on-package) XOR an off-package page."""
+        if (slot is None) == (offpkg_page is None):
+            raise MigrationError("exactly one of slot / offpkg_page must be given")
+        if slot is not None:
+            self.clock.touch(slot)
+        else:
+            self.mq.touch(offpkg_page)
+
+    def coldest_slot(self) -> int:
+        return self.clock.victim()
+
+    def hottest_page(self) -> int | None:
+        return self.mq.hottest()
+
+    def forget_page(self, page: int) -> None:
+        self.mq.forget(page)
+
+    @property
+    def state_bits(self) -> int:
+        return self.clock.state_bits + self.mq.state_bits
+
+
+class EpochMonitor:
+    """Vectorised epoch statistics feeding the swap trigger.
+
+    Keeps, across epochs, each slot's last-touch time and accumulates the
+    current epoch's per-page counts for off-package accesses.
+    """
+
+    def __init__(self, n_slots: int):
+        if n_slots <= 0:
+            raise MigrationError("n_slots must be positive")
+        self.n_slots = n_slots
+        self.slot_last_touch = np.full(n_slots, -1, dtype=np.int64)
+        self.slot_epoch_counts = np.zeros(n_slots, dtype=np.int64)
+        self._off_pages = np.zeros(0, dtype=np.int64)
+        self._off_counts = np.zeros(0, dtype=np.int64)
+        self._off_last = np.zeros(0, dtype=np.int64)
+
+    def observe_epoch(
+        self,
+        slots: np.ndarray,
+        slot_times: np.ndarray,
+        offpkg_pages: np.ndarray,
+        off_times: np.ndarray,
+    ) -> None:
+        """Fold one epoch's accesses into the monitor (all arrays 1-D)."""
+        slots = np.asarray(slots, dtype=np.int64)
+        if slots.size:
+            # last touch per slot: maximum time per slot id
+            np.maximum.at(self.slot_last_touch, slots, np.asarray(slot_times, dtype=np.int64))
+            np.add.at(self.slot_epoch_counts, slots, 1)
+        off = np.asarray(offpkg_pages, dtype=np.int64)
+        if off.size:
+            pages, inverse, counts = np.unique(off, return_inverse=True, return_counts=True)
+            last = np.zeros(pages.shape[0], dtype=np.int64)
+            np.maximum.at(last, inverse, np.asarray(off_times, dtype=np.int64))
+            self._off_pages = pages
+            self._off_counts = counts
+            self._off_last = last
+        else:
+            self._off_pages = np.zeros(0, dtype=np.int64)
+            self._off_counts = np.zeros(0, dtype=np.int64)
+            self._off_last = np.zeros(0, dtype=np.int64)
+
+    def coldest_slot(self, exclude: set[int] | None = None) -> int:
+        """Slot with the oldest last touch (never-touched slots first)."""
+        order = np.lexsort((np.arange(self.n_slots), self.slot_last_touch))
+        if exclude:
+            for s in order:
+                if int(s) not in exclude:
+                    return int(s)
+            raise MigrationError("all slots excluded")
+        return int(order[0])
+
+    def hottest_page(self) -> tuple[int, int] | None:
+        """``(page, epoch_count)`` of the hottest off-package page."""
+        if self._off_pages.size == 0:
+            return None
+        # highest count, most recent touch breaking ties
+        idx = np.lexsort((self._off_last, self._off_counts))[-1]
+        return int(self._off_pages[idx]), int(self._off_counts[idx])
+
+    def slot_epoch_count(self, slot: int) -> int:
+        return int(self.slot_epoch_counts[slot])
+
+    def new_epoch(self) -> None:
+        self.slot_epoch_counts[:] = 0
+        self._off_pages = np.zeros(0, dtype=np.int64)
+        self._off_counts = np.zeros(0, dtype=np.int64)
+        self._off_last = np.zeros(0, dtype=np.int64)

@@ -1,0 +1,306 @@
+"""The bidirectional physical->machine translation table (Figs 6, 7, 9).
+
+Row ``r`` of the table describes on-package slot ``r``. Its right column
+holds the macro page currently stored in that slot; by the paper's
+invariant ("if macro page n (n < N) is located in the on-package region,
+it can only be in the position of the n-th row"), a row pairing
+``r <-> q`` simultaneously means *slot r holds page q's data* and *page
+r's data lives at off-package machine page q* — the table encodes a set
+of transpositions. The reserved off-package page Ω backs the N-1
+design's "empty" slot: a row whose right column is EMPTY means the slot
+is free and its page is the *Ghost* (data at Ω).
+
+Two per-row bits refine resolution during a swap:
+
+* **P (pending)** — the RAM direction ``r -> right-column`` is bypassed
+  and page ``r`` resolves to Ω; the CAM direction (page->slot) still
+  works. This is what lets a swap proceed without ever losing a valid
+  physical copy.
+* **F (filling)** — the slot is receiving data sub-block by sub-block
+  (Live Migration, Fig 9); a bitmap says which 4 KB sub-blocks have
+  landed, and only those resolve on-package.
+
+The table keeps two dense mirror arrays (``machine_of`` page->machine
+and ``onpkg`` flags) incrementally updated on every mutation, so the
+epoch simulator can translate a whole access chunk with one fancy-index
+— the RAM/CAM structures themselves stay hardware-sized.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from ..address import AddressMap
+from ..errors import TranslationTableError
+
+#: right-column sentinel for the empty slot (represented by Ω in hardware)
+EMPTY: int = -1
+
+
+class PageCategory(Enum):
+    """The five macro-page categories of Section III-A."""
+
+    ORIGINAL_FAST = "OF"     # id < N, resident in its own slot
+    ORIGINAL_SLOW = "OS"     # id >= N, resident at its own machine page
+    MIGRATED_FAST = "MF"     # id >= N, resident in an on-package slot
+    MIGRATED_SLOW = "MS"     # id < N, resident at its partner's machine page
+    GHOST = "GHOST"          # id < N, resident at the reserved page Ω
+
+
+class TranslationTable:
+    """Pairing-invariant translation table with P/F bits and fill bitmap."""
+
+    def __init__(self, amap: AddressMap, *, reserve_empty_slot: bool = True):
+        self.amap = amap
+        n = amap.n_onpkg_pages
+        self.n_slots = n
+        #: right column: page stored in each slot (EMPTY for the free slot)
+        self.pair = np.arange(n, dtype=np.int64)
+        self.p_bit = np.zeros(n, dtype=bool)
+        self.f_bit = np.zeros(n, dtype=bool)
+        #: one bitmap (a single migration is in flight at a time, Fig 9)
+        self.fill_bitmap = np.zeros(amap.subblocks_per_page, dtype=bool)
+        self._filling_slot: int | None = None
+        self._fill_page: int | None = None      # incoming page
+        self._fill_source: int | None = None    # its old machine page
+        #: CAM direction: page -> slot, for pages currently in a slot
+        self._slot_of: dict[int, int] = {p: p for p in range(n)}
+
+        # dense mirrors for vectorised resolution
+        total = amap.n_total_pages
+        self.machine_of = np.arange(total, dtype=np.int64)
+        self.onpkg = np.zeros(total, dtype=bool)
+        self.onpkg[:n] = True
+
+        if reserve_empty_slot:
+            # N-1 design: sacrifice the last slot; its page becomes the Ghost
+            self._set_empty(n - 1)
+
+    # ------------------------------------------------------------------
+    # primitive mutations (each maintains the dense mirrors)
+    # ------------------------------------------------------------------
+    def _sync_page(self, page: int) -> None:
+        """Recompute one page's dense-mirror entry from table state."""
+        amap = self.amap
+        if page == self._fill_page:
+            # the incoming page keeps resolving to its old copy until the
+            # fill completes; the engine refines per sub-block / per time
+            self.machine_of[page] = self._fill_source
+            self.onpkg[page] = False
+            return
+        if page < self.n_slots:
+            if self.p_bit[page]:
+                self.machine_of[page] = amap.ghost_page
+                self.onpkg[page] = False
+            else:
+                v = int(self.pair[page])
+                if v == EMPTY:
+                    self.machine_of[page] = amap.ghost_page
+                    self.onpkg[page] = False
+                elif v == page:
+                    self.machine_of[page] = page
+                    self.onpkg[page] = True
+                else:
+                    self.machine_of[page] = v
+                    self.onpkg[page] = False
+        else:
+            slot = self._slot_of.get(page)
+            if slot is None:
+                self.machine_of[page] = page
+                self.onpkg[page] = False
+            else:
+                self.machine_of[page] = slot
+                self.onpkg[page] = True
+
+    def _set_cam(self, slot: int, page: int) -> None:
+        # validate before any mutation so a rejected update cannot leave
+        # the table half-written
+        if page != EMPTY and page in self._slot_of and self._slot_of[page] != slot:
+            raise TranslationTableError(
+                f"page {page} already mapped to slot {self._slot_of[page]}"
+            )
+        old = int(self.pair[slot])
+        if old != EMPTY and self._slot_of.get(old) == slot:
+            del self._slot_of[old]
+        self.pair[slot] = page
+        if page != EMPTY:
+            self._slot_of[page] = slot
+
+    def set_pair(self, slot: int, page: int) -> None:
+        """Write the right column of ``slot`` to ``page`` (table update)."""
+        self._check_slot(slot)
+        if not 0 <= page < self.amap.n_total_pages:
+            raise TranslationTableError(f"page {page} out of range")
+        old = int(self.pair[slot])
+        self._set_cam(slot, page)
+        for p in {page, slot, old} - {EMPTY}:
+            if 0 <= p < self.amap.n_total_pages:
+                self._sync_page(p)
+
+    def set_empty(self, slot: int) -> None:
+        """Mark ``slot`` as the empty slot (right column := Ω/EMPTY)."""
+        self._check_slot(slot)
+        self._set_empty(slot)
+
+    def _set_empty(self, slot: int) -> None:
+        # the paper's final swap step marks the row empty AND clears its
+        # P bit in one update (Fig 8(d) step 10)
+        old = int(self.pair[slot])
+        self._set_cam(slot, EMPTY)
+        self.f_bit[slot] = False
+        self.p_bit[slot] = False
+        for p in {slot, old} - {EMPTY}:
+            if 0 <= p < self.amap.n_total_pages:
+                self._sync_page(p)
+
+    def set_pending(self, slot: int, value: bool) -> None:
+        self._check_slot(slot)
+        self.p_bit[slot] = value
+        self._sync_page(slot)
+
+    def begin_fill(self, slot: int, source_machine_page: int) -> None:
+        """Set the F bit: ``slot`` starts receiving its (already CAM-mapped)
+        page from ``source_machine_page``, sub-block by sub-block (Fig 9)."""
+        self._check_slot(slot)
+        if self._filling_slot is not None:
+            raise TranslationTableError("another slot is already filling")
+        page = int(self.pair[slot])
+        if page == EMPTY:
+            raise TranslationTableError("fill target slot has no mapped page")
+        self.f_bit[slot] = True
+        self.fill_bitmap[:] = False
+        self._filling_slot = slot
+        self._fill_page = page
+        self._fill_source = source_machine_page
+        self._sync_page(page)
+
+    def fill_subblock(self, subblock: int) -> None:
+        if self._filling_slot is None:
+            raise TranslationTableError("no fill in progress")
+        self.fill_bitmap[subblock] = True
+        if bool(self.fill_bitmap.all()):
+            self.end_fill()
+
+    def end_fill(self) -> None:
+        """Clear the F bit (all sub-blocks landed, or fill aborted)."""
+        if self._filling_slot is None:
+            return
+        slot = self._filling_slot
+        page = self._fill_page
+        self.f_bit[slot] = False
+        self._filling_slot = None
+        self._fill_page = None
+        self._fill_source = None
+        if page is not None:
+            self._sync_page(page)
+
+    @property
+    def filling(self) -> bool:
+        return self._filling_slot is not None
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def resolve(self, page: int, subblock: int | None = None) -> tuple[bool, int]:
+        """``(on_package, machine_page)`` of one physical page.
+
+        ``subblock`` refines resolution for a page whose slot is filling:
+        already-landed sub-blocks are served on-package, the rest from
+        the old off-package copy.
+        """
+        if not 0 <= page < self.amap.n_total_pages:
+            raise TranslationTableError(f"page {page} out of range")
+        if page == self._fill_page:
+            if subblock is not None and bool(self.fill_bitmap[subblock]):
+                return True, self._filling_slot
+            return False, self._fill_source
+        return bool(self.onpkg[page]), int(self.machine_of[page])
+
+    def resolve_many(self, pages: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised ``(on_package, machine_page)`` via the dense mirrors.
+
+        A filling page resolves off-package here; the engine applies the
+        per-sub-block, per-time refinement for the (single) in-flight
+        page.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        if pages.size and (pages.min() < 0 or pages.max() >= self.amap.n_total_pages):
+            raise TranslationTableError(
+                f"page index outside [0, {self.amap.n_total_pages}): the trace "
+                "addresses exceed the configured memory size"
+            )
+        return self.onpkg[pages], self.machine_of[pages]
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def category(self, page: int) -> PageCategory:
+        """Classify a page into the five categories of Section III-A."""
+        if not 0 <= page < self.amap.n_total_pages:
+            raise TranslationTableError(f"page {page} out of range")
+        n = self.n_slots
+        if page < n:
+            v = int(self.pair[page])
+            if self.p_bit[page] or v == EMPTY:
+                return PageCategory.GHOST
+            if v == page:
+                return PageCategory.ORIGINAL_FAST
+            return PageCategory.MIGRATED_SLOW
+        if page in self._slot_of:
+            return PageCategory.MIGRATED_FAST
+        return PageCategory.ORIGINAL_SLOW
+
+    def slot_of(self, page: int) -> int | None:
+        """The slot currently holding this page's data, if any."""
+        if page < self.n_slots:
+            return page if int(self.pair[page]) == page else None
+        return self._slot_of.get(page)
+
+    def empty_slot(self) -> int | None:
+        """The current empty slot (N-1 design), if any."""
+        empties = np.flatnonzero(self.pair == EMPTY)
+        return int(empties[0]) if empties.size else None
+
+    def page_in_slot(self, slot: int) -> int:
+        self._check_slot(slot)
+        return int(self.pair[slot])
+
+    def resident_pages(self) -> np.ndarray:
+        """Pages currently resident on-package (one per occupied slot)."""
+        return self.pair[self.pair != EMPTY].copy()
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.n_slots:
+            raise TranslationTableError(f"slot {slot} out of range [0, {self.n_slots})")
+
+    def check_invariants(self) -> None:
+        """Assert the structural invariants; used by tests and the engine.
+
+        * every non-EMPTY right column appears in exactly one row;
+        * CAM dict mirrors the right column exactly;
+        * dense mirrors agree with scalar resolution for mapped pages;
+        * at most one slot is filling.
+        """
+        seen: dict[int, int] = {}
+        for slot in range(self.n_slots):
+            v = int(self.pair[slot])
+            if v == EMPTY:
+                continue
+            if v in seen:
+                raise TranslationTableError(
+                    f"page {v} mapped to slots {seen[v]} and {slot}"
+                )
+            seen[v] = slot
+        if seen != self._slot_of:
+            raise TranslationTableError("CAM dict out of sync with right column")
+        if int(self.f_bit.sum()) > 1:
+            raise TranslationTableError("more than one slot filling")
+        # spot-check mirrors against scalar resolution
+        for page in list(seen)[:64] + list(range(min(self.n_slots, 64))):
+            if page == self._fill_page:
+                continue
+            on, machine = self.resolve(page)
+            if bool(self.onpkg[page]) != on or int(self.machine_of[page]) != machine:
+                raise TranslationTableError(f"dense mirror out of sync for page {page}")

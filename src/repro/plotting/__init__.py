@@ -1,0 +1,12 @@
+"""Zero-dependency SVG charts.
+
+The reproduction environment has no plotting stack, so this module
+renders the paper's figures as standalone SVG files: grouped bar charts
+(Figs 5, 11, 16), line charts with optional log axes (Figs 4, 10,
+12-15). ``python -m repro.plotting.figures`` writes every figure to
+``figures/``.
+"""
+
+from .svg import BarChart, LineChart
+
+__all__ = ["LineChart", "BarChart"]

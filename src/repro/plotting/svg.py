@@ -1,0 +1,228 @@
+"""Minimal SVG chart primitives (no third-party dependencies).
+
+Deliberately small: two chart types, linear or log10 y-axis, a legend,
+and nothing else. Output is a self-contained ``.svg`` string/file.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+
+#: a readable categorical palette
+PALETTE = ("#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4",
+           "#8c613c", "#dc7ec0", "#797979", "#d5bb67", "#82c6e2")
+
+_W, _H = 720, 420
+_ML, _MR, _MT, _MB = 70, 160, 40, 60
+
+
+def _esc(text: str) -> str:
+    return (
+        str(text).replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / n
+    mag = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 5, 10):
+        if raw <= mult * mag:
+            step = mult * mag
+            break
+    start = math.ceil(lo / step) * step
+    out = []
+    v = start
+    while v <= hi + 1e-9 * step:
+        out.append(round(v, 10))
+        v += step
+    return out
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1e6:
+        return f"{v / 1e6:g}M"
+    if abs(v) >= 1e3:
+        return f"{v / 1e3:g}k"
+    if abs(v) < 0.01:
+        return f"{v:.0e}"
+    return f"{v:g}"
+
+
+@dataclass
+class _Chart:
+    title: str
+    xlabel: str = ""
+    ylabel: str = ""
+    log_y: bool = False
+    series: list[tuple[str, list[float]]] = field(default_factory=list)
+    categories: list[str] = field(default_factory=list)
+
+    def add_series(self, name: str, values: list[float]) -> None:
+        if self.categories and len(values) != len(self.categories):
+            raise ReproError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(self.categories)} categories"
+            )
+        if self.log_y and any(v <= 0 for v in values):
+            raise ReproError("log-scale charts need positive values")
+        self.series.append((name, list(values)))
+
+    # -- scaling -----------------------------------------------------------
+    def _y_range(self) -> tuple[float, float]:
+        values = [v for _, vs in self.series for v in vs]
+        if not values:
+            raise ReproError("chart has no data")
+        lo, hi = min(values), max(values)
+        if self.log_y:
+            return math.log10(lo) - 0.05, math.log10(hi) + 0.05
+        span = (hi - lo) or abs(hi) or 1.0
+        lo = min(0.0, lo) if lo >= 0 else lo - 0.05 * span
+        return lo, hi + 0.08 * span
+
+    def _y_pos(self, value: float, lo: float, hi: float) -> float:
+        v = math.log10(value) if self.log_y else value
+        frac = (v - lo) / (hi - lo)
+        return _H - _MB - frac * (_H - _MT - _MB)
+
+    # -- skeleton ----------------------------------------------------------
+    def _frame(self) -> list[str]:
+        lo, hi = self._y_range()
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{_W}" height="{_H}" '
+            f'font-family="sans-serif" font-size="12">',
+            f'<rect width="{_W}" height="{_H}" fill="white"/>',
+            f'<text x="{_ML}" y="22" font-size="15" font-weight="bold">'
+            f"{_esc(self.title)}</text>",
+        ]
+        # y grid + labels
+        if self.log_y:
+            tick_vals = [10 ** e for e in range(math.floor(lo), math.ceil(hi) + 1)]
+        else:
+            tick_vals = _ticks(lo, hi)
+        for tv in tick_vals:
+            v = tv if not self.log_y else tv
+            y = self._y_pos(v, lo, hi) if not self.log_y else self._y_pos(tv, lo, hi)
+            if not (_MT - 1 <= y <= _H - _MB + 1):
+                continue
+            parts.append(
+                f'<line x1="{_ML}" y1="{y:.1f}" x2="{_W - _MR}" y2="{y:.1f}" '
+                f'stroke="#e0e0e0"/>'
+            )
+            parts.append(
+                f'<text x="{_ML - 8}" y="{y + 4:.1f}" text-anchor="end">{_fmt(v)}</text>'
+            )
+        # axes
+        parts.append(
+            f'<line x1="{_ML}" y1="{_MT}" x2="{_ML}" y2="{_H - _MB}" stroke="#333"/>'
+        )
+        parts.append(
+            f'<line x1="{_ML}" y1="{_H - _MB}" x2="{_W - _MR}" y2="{_H - _MB}" '
+            f'stroke="#333"/>'
+        )
+        if self.ylabel:
+            parts.append(
+                f'<text x="16" y="{(_H - _MB + _MT) / 2:.0f}" text-anchor="middle" '
+                f'transform="rotate(-90 16 {(_H - _MB + _MT) / 2:.0f})">'
+                f"{_esc(self.ylabel)}</text>"
+            )
+        if self.xlabel:
+            parts.append(
+                f'<text x="{(_ML + _W - _MR) / 2:.0f}" y="{_H - 12}" '
+                f'text-anchor="middle">{_esc(self.xlabel)}</text>'
+            )
+        return parts
+
+    def _legend(self) -> list[str]:
+        parts = []
+        for i, (name, _) in enumerate(self.series):
+            color = PALETTE[i % len(PALETTE)]
+            y = _MT + 18 * i
+            parts.append(
+                f'<rect x="{_W - _MR + 12}" y="{y}" width="12" height="12" '
+                f'fill="{color}"/>'
+            )
+            parts.append(
+                f'<text x="{_W - _MR + 30}" y="{y + 10}">{_esc(name)}</text>'
+            )
+        return parts
+
+    def _x_pos(self, index: int) -> float:
+        n = max(1, len(self.categories))
+        width = _W - _ML - _MR
+        return _ML + width * (index + 0.5) / n
+
+    def _category_labels(self) -> list[str]:
+        parts = []
+        for i, cat in enumerate(self.categories):
+            parts.append(
+                f'<text x="{self._x_pos(i):.1f}" y="{_H - _MB + 18}" '
+                f'text-anchor="middle">{_esc(cat)}</text>'
+            )
+        return parts
+
+
+@dataclass
+class LineChart(_Chart):
+    """One line per series over the shared categories."""
+
+    def render(self) -> str:
+        lo, hi = self._y_range()
+        parts = self._frame()
+        for i, (name, values) in enumerate(self.series):
+            color = PALETTE[i % len(PALETTE)]
+            points = " ".join(
+                f"{self._x_pos(j):.1f},{self._y_pos(v, lo, hi):.1f}"
+                for j, v in enumerate(values)
+            )
+            parts.append(
+                f'<polyline fill="none" stroke="{color}" stroke-width="2" '
+                f'points="{points}"/>'
+            )
+            for j, v in enumerate(values):
+                parts.append(
+                    f'<circle cx="{self._x_pos(j):.1f}" '
+                    f'cy="{self._y_pos(v, lo, hi):.1f}" r="3" fill="{color}"/>'
+                )
+        parts += self._category_labels() + self._legend() + ["</svg>"]
+        return "\n".join(parts)
+
+    def save(self, path) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.render())
+
+
+@dataclass
+class BarChart(_Chart):
+    """Grouped bars: one group per category, one bar per series."""
+
+    def render(self) -> str:
+        lo, hi = self._y_range()
+        parts = self._frame()
+        n_cat = max(1, len(self.categories))
+        n_series = max(1, len(self.series))
+        group_width = (_W - _ML - _MR) / n_cat
+        bar_width = max(2.0, group_width * 0.8 / n_series)
+        zero_y = self._y_pos(max(lo, 0.0) if not self.log_y else 10 ** lo, lo, hi)
+        for i, (name, values) in enumerate(self.series):
+            color = PALETTE[i % len(PALETTE)]
+            for j, v in enumerate(values):
+                x = _ML + group_width * j + group_width * 0.1 + bar_width * i
+                y = self._y_pos(v, lo, hi)
+                top, height = (y, zero_y - y) if y <= zero_y else (zero_y, y - zero_y)
+                parts.append(
+                    f'<rect x="{x:.1f}" y="{top:.1f}" width="{bar_width:.1f}" '
+                    f'height="{max(0.5, height):.1f}" fill="{color}"/>'
+                )
+        parts += self._category_labels() + self._legend() + ["</svg>"]
+        return "\n".join(parts)
+
+    def save(self, path) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.render())

@@ -1,0 +1,5 @@
+"""Memory power model (Section IV-D, Fig 16)."""
+
+from .energy import MemoryEnergyModel, PowerReport
+
+__all__ = ["MemoryEnergyModel", "PowerReport"]

@@ -1,0 +1,111 @@
+"""Energy accounting per Section IV-D [21].
+
+Constants: 5 pJ/bit for the DRAM core access (both regions),
+1.66 pJ/bit for the on-package interconnect, 13 pJ/bit for the
+off-package interconnect. An access moves one cache line; a migration
+moves whole macro pages, paying DRAM core at both ends plus the
+interconnect(s) it crosses. Fig 16 normalises the hybrid system's total
+energy to the off-package-only system on the same trace — the paper's
+minimum observed overhead is ~2x at (100K interval, 4 KB pages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import PowerConfig
+from ..core.simulator import SimulationResult
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Energy breakdown of one simulated run (picojoules)."""
+
+    demand_energy_pj: float
+    migration_energy_pj: float
+    baseline_energy_pj: float     # same accesses, off-package only
+
+    @property
+    def total_pj(self) -> float:
+        return self.demand_energy_pj + self.migration_energy_pj
+
+    @property
+    def normalized(self) -> float:
+        """Fig 16's y-axis: hybrid total / off-package-only total."""
+        if self.baseline_energy_pj <= 0:
+            raise ConfigError("baseline energy must be positive")
+        return self.total_pj / self.baseline_energy_pj
+
+
+class MemoryEnergyModel:
+    """Price accesses and migrations in picojoules."""
+
+    def __init__(self, config: PowerConfig | None = None):
+        self.config = config or PowerConfig()
+
+    def access_energy_pj(self, *, onpkg: bool, n_accesses: int = 1) -> float:
+        c = self.config
+        bits = 8 * c.access_bytes * n_accesses
+        link = c.onpkg_link_pj_per_bit if onpkg else c.offpkg_link_pj_per_bit
+        return bits * (c.dram_core_pj_per_bit + link)
+
+    def migration_energy_pj(self, *, cross_boundary_bytes: int, onchip_bytes: int = 0) -> float:
+        """A migrated byte is read from one DRAM and written to another
+        (2x core) and traverses both interconnects when it crosses the
+        package boundary (the data leaves one region and enters the other
+        through the controller)."""
+        c = self.config
+        cross_bits = 8 * cross_boundary_bytes
+        on_bits = 8 * onchip_bytes
+        cross = cross_bits * (
+            2 * c.dram_core_pj_per_bit + c.onpkg_link_pj_per_bit + c.offpkg_link_pj_per_bit
+        )
+        onchip = on_bits * (2 * c.dram_core_pj_per_bit + 2 * c.onpkg_link_pj_per_bit)
+        return cross + onchip
+
+    def background_energy_pj(
+        self, *, capacity_gb: float, duration_cycles: int, frequency_hz: float = 3.2e9
+    ) -> float:
+        """Refresh/standby energy over a run (0 unless configured)."""
+        if self.config.background_mw_per_gb <= 0 or duration_cycles <= 0:
+            return 0.0
+        seconds = duration_cycles / frequency_hz
+        milliwatts = self.config.background_mw_per_gb * capacity_gb
+        return milliwatts * seconds * 1e9  # mW*s = mJ = 1e9 pJ
+
+    def report(
+        self,
+        result: SimulationResult,
+        *,
+        total_capacity_gb: float = 0.0,
+        frequency_hz: float = 3.2e9,
+    ) -> PowerReport:
+        """Energy of one heterogeneous run vs its off-package-only twin.
+
+        ``total_capacity_gb`` (with a non-zero
+        :attr:`PowerConfig.background_mw_per_gb`) adds background power —
+        identical capacity on both sides, but it dilutes the relative
+        migration overhead (see ``benchmarks/bench_refresh.py``).
+        """
+        demand = self.access_energy_pj(
+            onpkg=True, n_accesses=result.onpkg_accesses
+        ) + self.access_energy_pj(onpkg=False, n_accesses=result.offpkg_accesses)
+        onchip_bytes = result.migrated_bytes - result.cross_boundary_migrated_bytes
+        migration = self.migration_energy_pj(
+            cross_boundary_bytes=result.cross_boundary_migrated_bytes,
+            onchip_bytes=max(0, onchip_bytes),
+        )
+        background = self.background_energy_pj(
+            capacity_gb=total_capacity_gb,
+            duration_cycles=result.duration_cycles,
+            frequency_hz=frequency_hz,
+        )
+        baseline = (
+            self.access_energy_pj(onpkg=False, n_accesses=result.n_accesses) + background
+        )
+        return PowerReport(
+            demand_energy_pj=demand + background,
+            migration_energy_pj=migration,
+            baseline_energy_pj=baseline,
+        )

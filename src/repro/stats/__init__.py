@@ -1,0 +1,6 @@
+"""Streaming statistics and paper-style table formatting."""
+
+from .accumulators import LatencyAccumulator, StreamingMean
+from .report import Table, format_cycles
+
+__all__ = ["StreamingMean", "LatencyAccumulator", "Table", "format_cycles"]

@@ -1,0 +1,70 @@
+"""Streaming accumulators for chunked simulation output.
+
+Latency arrays for multi-million-access runs should not be retained;
+these accumulators fold each chunk into O(1)/O(bins) state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+class StreamingMean:
+    """Mean/min/max/count over a stream of arrays."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def add(self, values: np.ndarray) -> None:
+        v = np.asarray(values)
+        if v.size == 0:
+            return
+        self.count += v.size
+        self.total += float(v.sum())
+        self.min = min(self.min, float(v.min()))
+        self.max = max(self.max, float(v.max()))
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class LatencyAccumulator:
+    """Mean + fixed-bin histogram + approximate percentiles."""
+
+    def __init__(self, max_latency: int = 1 << 20, n_bins: int = 2048):
+        if max_latency <= 0 or n_bins <= 0:
+            raise SimulationError("max_latency and n_bins must be positive")
+        self.mean = StreamingMean()
+        self.edges = np.logspace(0, np.log10(max_latency), n_bins + 1)
+        self.counts = np.zeros(n_bins, dtype=np.int64)
+
+    def add(self, latencies: np.ndarray) -> None:
+        lat = np.asarray(latencies)
+        if lat.size == 0:
+            return
+        self.mean.add(lat)
+        hist, _ = np.histogram(np.clip(lat, 1, self.edges[-1]), bins=self.edges)
+        self.counts += hist
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile from the log-spaced histogram."""
+        if not 0 <= q <= 100:
+            raise SimulationError("percentile must be in [0, 100]")
+        total = self.counts.sum()
+        if total == 0:
+            return 0.0
+        target = total * q / 100.0
+        cum = np.cumsum(self.counts)
+        idx = int(np.searchsorted(cum, target, side="left"))
+        idx = min(idx, self.counts.shape[0] - 1)
+        return float(self.edges[idx + 1])
+
+    @property
+    def average(self) -> float:
+        return self.mean.mean

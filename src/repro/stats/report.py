@@ -1,0 +1,60 @@
+"""Plain-text tables matching the paper's figure/table layouts.
+
+Every benchmark prints through :class:`Table` so regenerated results
+line up with the paper's rows and columns for eyeball comparison.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+
+def format_cycles(value: float) -> str:
+    """Compact cycle counts (plain below 10k, k/M above)."""
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M"
+    if value >= 1e4:
+        return f"{value / 1e3:.1f}k"
+    return f"{value:.1f}"
+
+
+class Table:
+    """A fixed-column text table with a title and optional footnote."""
+
+    def __init__(self, title: str, columns: list[str]):
+        if not columns:
+            raise ReproError("a table needs columns")
+        self.title = title
+        self.columns = columns
+        self.rows: list[list[str]] = []
+        self.footnotes: list[str] = []
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ReproError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def add_footnote(self, text: str) -> None:
+        self.footnotes.append(text)
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * max(len(self.title), len(sep))]
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        for note in self.footnotes:
+            lines.append(f"  * {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:  # noqa: A003 - deliberate, print-like
+        print("\n" + self.render() + "\n")

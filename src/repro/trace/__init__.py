@@ -1,0 +1,33 @@
+"""Memory-trace substrate.
+
+A trace is a time-ordered sequence of main-memory accesses, each with a
+physical address, originating CPU, timestamp (core cycles) and
+read/write flag — exactly the record the paper collects from COTSon
+(Section IV). Traces are held in numpy structured arrays
+(:class:`~repro.trace.record.TraceChunk`) and can be streamed to/from
+disk in chunks.
+"""
+
+from .record import TRACE_DTYPE, READ, WRITE, TraceChunk, make_chunk
+from .io import TraceReader, TraceWriter, read_trace, write_trace
+from .stats import TraceStats, compute_stats, footprint_bytes
+from .filters import concat, downsample, interleave, time_window
+
+__all__ = [
+    "TRACE_DTYPE",
+    "READ",
+    "WRITE",
+    "TraceChunk",
+    "make_chunk",
+    "TraceReader",
+    "TraceWriter",
+    "read_trace",
+    "write_trace",
+    "TraceStats",
+    "compute_stats",
+    "footprint_bytes",
+    "concat",
+    "downsample",
+    "interleave",
+    "time_window",
+]

@@ -1,0 +1,80 @@
+"""Trace tooling CLI.
+
+    python -m repro.trace gen pgbench out.rptrace -n 1000000 --footprint 2GB
+    python -m repro.trace stats out.rptrace
+    python -m repro.trace head out.rptrace -n 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..units import format_size, parse_size
+from ..workloads.registry import available_workloads, generate_trace
+from .io import TraceReader, TraceWriter
+from .stats import access_skew, compute_stats
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    footprint = parse_size(args.footprint) if args.footprint else None
+    chunk = generate_trace(args.workload, args.n, seed=args.seed,
+                           footprint_bytes=footprint)
+    with TraceWriter(args.path) as writer:
+        writer.write(chunk)
+    print(f"wrote {len(chunk)} accesses to {args.path}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    reader = TraceReader(args.path)
+    chunk = reader.read_all()
+    stats = compute_stats(chunk)
+    print(f"accesses:   {stats.n_accesses}")
+    print(f"footprint:  {format_size(max(1, stats.footprint_bytes))} "
+          f"({stats.unique_pages} x {format_size(stats.page_bytes)} pages)")
+    print(f"writes:     {stats.write_fraction:.1%}")
+    print(f"duration:   {stats.duration_cycles} cycles "
+          f"({stats.duration_cycles / max(1, stats.n_accesses):.1f} cycles/access)")
+    print(f"skew:       {access_skew(chunk, stats.page_bytes):.1%} of accesses "
+          f"in the hottest 10% of pages")
+    return 0
+
+
+def _cmd_head(args: argparse.Namespace) -> int:
+    reader = TraceReader(args.path, chunk_records=args.n)
+    for chunk in reader:
+        for rec in chunk.records[: args.n]:
+            rw = "W" if rec["rw"] else "R"
+            print(f"t={rec['time']:<12} cpu={rec['cpu']} {rw} 0x{rec['addr']:012x}")
+        break
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.trace", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("gen", help="generate a workload trace file")
+    gen.add_argument("workload", choices=available_workloads())
+    gen.add_argument("path")
+    gen.add_argument("-n", type=int, default=1_000_000, help="accesses")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--footprint", default=None, help='e.g. "2GB" (default: paper value)')
+    gen.set_defaults(fn=_cmd_gen)
+
+    stats = sub.add_parser("stats", help="summarise a trace file")
+    stats.add_argument("path")
+    stats.set_defaults(fn=_cmd_stats)
+
+    head = sub.add_parser("head", help="print the first records")
+    head.add_argument("path")
+    head.add_argument("-n", type=int, default=10)
+    head.set_defaults(fn=_cmd_head)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

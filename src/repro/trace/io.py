@@ -1,0 +1,120 @@
+"""Chunked binary trace I/O.
+
+File format (little-endian):
+
+* 16-byte header: magic ``b"RPTRACE1"`` + uint64 record count
+* raw :data:`~repro.trace.record.TRACE_DTYPE` records
+
+The writer appends chunks and patches the count on close; the reader
+streams fixed-size chunks so multi-gigabyte traces never have to fit in
+memory at once.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import TraceError
+from .record import TRACE_DTYPE, TraceChunk
+
+_MAGIC = b"RPTRACE1"
+_HEADER = struct.Struct("<8sQ")
+
+
+class TraceWriter:
+    """Append-only trace file writer; use as a context manager."""
+
+    def __init__(self, path: str | os.PathLike):
+        self._path = os.fspath(path)
+        self._fh: io.BufferedWriter | None = open(self._path, "wb")
+        self._count = 0
+        self._last_time: int | None = None
+        self._fh.write(_HEADER.pack(_MAGIC, 0))
+
+    def write(self, chunk: TraceChunk) -> None:
+        if self._fh is None:
+            raise TraceError("writer already closed")
+        if len(chunk) == 0:
+            return
+        first = int(chunk.time[0])
+        if self._last_time is not None and first < self._last_time:
+            raise TraceError(
+                f"chunk starts at t={first} before previous end t={self._last_time}"
+            )
+        self._last_time = int(chunk.time[-1])
+        self._fh.write(chunk.records.tobytes())
+        self._count += len(chunk)
+
+    def close(self) -> None:
+        if self._fh is None:
+            return
+        self._fh.seek(0)
+        self._fh.write(_HEADER.pack(_MAGIC, self._count))
+        self._fh.close()
+        self._fh = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TraceReader:
+    """Stream a trace file in chunks of ``chunk_records`` accesses."""
+
+    def __init__(self, path: str | os.PathLike, chunk_records: int = 1 << 20):
+        if chunk_records <= 0:
+            raise TraceError("chunk_records must be positive")
+        self._path = os.fspath(path)
+        self._chunk_records = chunk_records
+        with open(self._path, "rb") as fh:
+            header = fh.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise TraceError(f"{self._path}: truncated header")
+        magic, count = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise TraceError(f"{self._path}: bad magic {magic!r}")
+        self.count = count
+        expected = _HEADER.size + count * TRACE_DTYPE.itemsize
+        actual = os.path.getsize(self._path)
+        if actual != expected:
+            raise TraceError(
+                f"{self._path}: size {actual} does not match header count {count}"
+            )
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __iter__(self) -> Iterator[TraceChunk]:
+        with open(self._path, "rb") as fh:
+            fh.seek(_HEADER.size)
+            remaining = self.count
+            while remaining > 0:
+                n = min(remaining, self._chunk_records)
+                raw = fh.read(n * TRACE_DTYPE.itemsize)
+                records = np.frombuffer(raw, dtype=TRACE_DTYPE).copy()
+                yield TraceChunk(records, validate=False)
+                remaining -= n
+
+    def read_all(self) -> TraceChunk:
+        chunks = list(self)
+        if not chunks:
+            return TraceChunk(np.empty(0, dtype=TRACE_DTYPE), validate=False)
+        return TraceChunk(np.concatenate([c.records for c in chunks]), validate=False)
+
+
+def write_trace(path: str | os.PathLike, chunk: TraceChunk) -> None:
+    """Write a whole trace in one call."""
+    with TraceWriter(path) as w:
+        w.write(chunk)
+
+
+def read_trace(path: str | os.PathLike) -> TraceChunk:
+    """Read a whole trace into memory."""
+    return TraceReader(path).read_all()

@@ -1,0 +1,80 @@
+"""Trace statistics: footprint, read/write mix, page-touch histograms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..units import format_size
+from .record import WRITE, TraceChunk
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary of one trace (or a concatenation of chunks)."""
+
+    n_accesses: int
+    n_writes: int
+    footprint_bytes: int
+    unique_pages: int
+    page_bytes: int
+    duration_cycles: int
+
+    @property
+    def write_fraction(self) -> float:
+        return self.n_writes / self.n_accesses if self.n_accesses else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.n_accesses} accesses, footprint {format_size(max(self.footprint_bytes, 1))}, "
+            f"{self.write_fraction:.0%} writes, {self.duration_cycles} cycles"
+        )
+
+
+def footprint_bytes(chunk: TraceChunk, page_bytes: int = 4096) -> int:
+    """Memory footprint = unique pages touched x page size.
+
+    This mirrors how Table I footprints are measured (resident pages,
+    not max address).
+    """
+    if len(chunk) == 0:
+        return 0
+    pages = np.unique(chunk.addr // page_bytes)
+    return int(pages.size) * page_bytes
+
+
+def compute_stats(chunk: TraceChunk, page_bytes: int = 4096) -> TraceStats:
+    """Compute :class:`TraceStats` in one vectorised pass."""
+    n = len(chunk)
+    if n == 0:
+        return TraceStats(0, 0, 0, 0, page_bytes, 0)
+    pages = np.unique(chunk.addr // page_bytes)
+    return TraceStats(
+        n_accesses=n,
+        n_writes=int((chunk.rw == WRITE).sum()),
+        footprint_bytes=int(pages.size) * page_bytes,
+        unique_pages=int(pages.size),
+        page_bytes=page_bytes,
+        duration_cycles=int(chunk.time[-1] - chunk.time[0]),
+    )
+
+
+def page_access_counts(chunk: TraceChunk, page_bytes: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(page_ids, counts)`` sorted by descending count."""
+    pages, counts = np.unique(chunk.addr // page_bytes, return_counts=True)
+    order = np.argsort(counts)[::-1]
+    return pages[order], counts[order]
+
+
+def access_skew(chunk: TraceChunk, page_bytes: int, top_fraction: float = 0.1) -> float:
+    """Fraction of accesses landing in the hottest ``top_fraction`` of pages.
+
+    A quick locality metric: ~``top_fraction`` for a uniform trace,
+    approaching 1.0 for a highly skewed one.
+    """
+    _, counts = page_access_counts(chunk, page_bytes)
+    if counts.size == 0:
+        return 0.0
+    k = max(1, int(np.ceil(counts.size * top_fraction)))
+    return float(counts[:k].sum() / counts.sum())

@@ -1,0 +1,79 @@
+"""Size and unit helpers used throughout the package.
+
+The paper speaks in binary units (4 KB sub-blocks, 4 MB macro pages,
+512 MB on-package, 4 GB total), so ``KB``/``MB``/``GB`` here are the
+binary (IEC) quantities.
+"""
+
+from __future__ import annotations
+
+from .errors import ConfigError
+
+KB: int = 1024
+MB: int = 1024 * KB
+GB: int = 1024 * MB
+
+_SUFFIXES = {
+    "B": 1,
+    "KB": KB,
+    "K": KB,
+    "MB": MB,
+    "M": MB,
+    "GB": GB,
+    "G": GB,
+}
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a human-readable size (``"4MB"``, ``"512M"``, ``"4096"``) to bytes.
+
+    Integers pass through unchanged. Raises :class:`ConfigError` on
+    unknown suffixes or non-positive sizes.
+    """
+    if isinstance(text, int):
+        if text <= 0:
+            raise ConfigError(f"size must be positive, got {text}")
+        return text
+    s = text.strip().upper().replace(" ", "")
+    for suffix in sorted(_SUFFIXES, key=len, reverse=True):
+        if s.endswith(suffix):
+            number = s[: -len(suffix)]
+            break
+    else:
+        suffix, number = "B", s
+    try:
+        value = float(number)
+    except ValueError as exc:
+        raise ConfigError(f"cannot parse size {text!r}") from exc
+    result = int(value * _SUFFIXES[suffix])
+    if result <= 0:
+        raise ConfigError(f"size must be positive, got {text!r}")
+    return result
+
+
+def format_size(nbytes: int) -> str:
+    """Format a byte count with the largest exact binary suffix.
+
+    >>> format_size(4 * MB)
+    '4MB'
+    >>> format_size(1536)
+    '1536B'
+    """
+    if nbytes <= 0:
+        raise ConfigError(f"size must be positive, got {nbytes}")
+    for suffix, mult in (("GB", GB), ("MB", MB), ("KB", KB)):
+        if nbytes % mult == 0:
+            return f"{nbytes // mult}{suffix}"
+    return f"{nbytes}B"
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Integer log2 of an exact power of two; :class:`ConfigError` otherwise."""
+    if not is_power_of_two(value):
+        raise ConfigError(f"{value} is not a power of two")
+    return value.bit_length() - 1

@@ -1,0 +1,31 @@
+"""Synthetic workload models.
+
+The paper evaluates on traces from NPB 3.3 (Table I), a SPEC2006
+mixture, and three server workloads (Table III). We have no access to
+the authors' COTSon traces, so each workload is modelled as a
+composition of access-pattern primitives (streaming, strided, zipf hot
+set, pointer chase, transactional) with the paper's footprints and a
+drifting hot set — the properties the migration study actually
+exercises. See DESIGN.md section 2.
+"""
+
+from .base import PatternSpec, PhaseSpec, SyntheticWorkload
+from .registry import available_workloads, get_workload
+from .npb import NPB_FOOTPRINTS_MB, npb_workload
+from .spec import spec2006_mixture, spec_workload
+from .server import indexer_workload, pgbench_workload, specjbb_workload
+
+__all__ = [
+    "PatternSpec",
+    "PhaseSpec",
+    "SyntheticWorkload",
+    "available_workloads",
+    "get_workload",
+    "NPB_FOOTPRINTS_MB",
+    "npb_workload",
+    "spec_workload",
+    "spec2006_mixture",
+    "pgbench_workload",
+    "indexer_workload",
+    "specjbb_workload",
+]

@@ -1,0 +1,187 @@
+"""Workload model framework.
+
+A :class:`SyntheticWorkload` is a footprint, a read/write mix, an access
+arrival rate, and a cycle of *phases*. Each phase emits addresses from
+one pattern primitive; between phases the zipf hot set *drifts* (a
+fraction of the popularity permutation is reshuffled). Hot-set drift is
+what makes dynamic migration matter: a static mapping captures only the
+initial hot pages, while the migration controller follows the drift.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..trace.record import READ, WRITE, TraceChunk, make_chunk
+from . import generators as g
+
+
+@dataclass(frozen=True)
+class PatternSpec:
+    """One access-pattern primitive plus its parameters."""
+
+    kind: str     # zipf | stream | stream_hot | random | chase | cluster | txn
+    params: dict = field(default_factory=dict)
+
+    _KINDS = ("zipf", "stream", "stream_hot", "random", "chase", "cluster", "txn")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise WorkloadError(f"unknown pattern kind {self.kind!r}")
+
+    def generate(
+        self,
+        n: int,
+        footprint: int,
+        rng: np.random.Generator,
+        permutation: np.ndarray,
+    ) -> np.ndarray:
+        if self.kind == "zipf":
+            return g.zipf_hot(n, footprint, rng, permutation=permutation, **self.params)
+        if self.kind == "stream":
+            return g.sequential_stream(n, footprint, rng, **self.params)
+        if self.kind == "stream_hot":
+            return g.stream_with_hot(n, footprint, rng, permutation=permutation, **self.params)
+        if self.kind == "random":
+            return g.uniform_random(n, footprint, rng)
+        if self.kind == "chase":
+            return g.pointer_chase(n, footprint, rng, **self.params)
+        if self.kind == "cluster":
+            return g.gaussian_cluster(n, footprint, rng, **self.params)
+        if self.kind == "txn":
+            return g.transactional(n, footprint, rng, **self.params)
+        raise WorkloadError(f"unknown pattern kind {self.kind!r}")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """A phase: a weighted pattern within the workload's phase cycle."""
+
+    pattern: PatternSpec
+    weight: float = 1.0
+    #: fraction of the hot-set permutation reshuffled when this phase ends
+    drift: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise WorkloadError("phase weight must be positive")
+        if not 0.0 <= self.drift <= 1.0:
+            raise WorkloadError("drift must be in [0, 1]")
+
+
+def rotate_permutation(perm: np.ndarray, fraction: float, rng: np.random.Generator) -> np.ndarray:
+    """Reshuffle a random ``fraction`` of a permutation's positions."""
+    if fraction <= 0.0:
+        return perm
+    n = perm.shape[0]
+    k = max(2, int(n * min(fraction, 1.0)))
+    idx = rng.choice(n, size=k, replace=False)
+    out = perm.copy()
+    out[idx] = perm[idx[rng.permutation(k)]]
+    return out
+
+
+@dataclass(frozen=True)
+class SyntheticWorkload:
+    """A named, reproducible synthetic memory workload.
+
+    Parameters
+    ----------
+    name:
+        Registry name (e.g. ``"FT.C"``).
+    footprint_bytes:
+        Total touched memory (Table I / Table III values by default).
+    phases:
+        The phase cycle; repeated until ``n`` accesses are produced.
+    write_fraction:
+        Probability an access is a WRITE.
+    cycles_per_access:
+        Mean inter-arrival gap in core cycles (memory intensity).
+    phase_len:
+        Accesses per phase instance.
+    n_cpus:
+        Cores issuing accesses (stamped round-robin with jitter).
+    """
+
+    name: str
+    footprint_bytes: int
+    phases: tuple[PhaseSpec, ...]
+    write_fraction: float = 0.25
+    cycles_per_access: float = 20.0
+    phase_len: int = 200_000
+    n_cpus: int = 4
+    #: fraction of accesses arriving in back-to-back bursts
+    burst_fraction: float = 0.85
+    #: mean intra-burst gap (cycles)
+    burst_gap: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise WorkloadError(f"{self.name}: needs at least one phase")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise WorkloadError("write_fraction must be in [0, 1]")
+        if self.cycles_per_access <= 0 or self.phase_len <= 0 or self.n_cpus <= 0:
+            raise WorkloadError("rates and sizes must be positive")
+        if not 0.0 <= self.burst_fraction < 1.0 or self.burst_gap < 1.0:
+            raise WorkloadError("burst_fraction must be in [0,1) and burst_gap >= 1")
+        if self.cycles_per_access <= self.burst_fraction * self.burst_gap:
+            raise WorkloadError("cycles_per_access too small for the burst model")
+
+    def with_footprint(self, footprint_bytes: int) -> "SyntheticWorkload":
+        """A scaled copy — used by experiment presets (see DESIGN.md §2)."""
+        from dataclasses import replace
+
+        if footprint_bytes < g.BLOCK:
+            raise WorkloadError("footprint too small")
+        return replace(self, footprint_bytes=footprint_bytes)
+
+    def generate(self, n: int, seed: int = 0, *, start_time: int = 0) -> TraceChunk:
+        """Produce ``n`` accesses as a validated :class:`TraceChunk`."""
+        if n < 0:
+            raise WorkloadError("n must be non-negative")
+        # zlib.crc32 is stable across processes (str hash() is salted)
+        rng = np.random.default_rng(zlib.crc32(self.name.encode()) ^ seed)
+        perm = g.make_hot_permutation(self.footprint_bytes, rng)
+
+        weights = np.array([p.weight for p in self.phases], dtype=float)
+        weights /= weights.sum()
+
+        parts: list[np.ndarray] = []
+        produced = 0
+        phase_i = 0
+        while produced < n:
+            phase = self.phases[phase_i % len(self.phases)]
+            k = min(self.phase_len, n - produced)
+            # phases share the cycle proportionally to weight
+            k = max(1, int(round(k * weights[phase_i % len(self.phases)] * len(self.phases))))
+            k = min(k, n - produced)
+            parts.append(phase.pattern.generate(k, self.footprint_bytes, rng, perm))
+            produced += k
+            if phase.drift > 0:
+                perm = rotate_permutation(perm, phase.drift, rng)
+            phase_i += 1
+
+        addr = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        # bursty arrivals: post-LLC miss streams come in clusters (MLP,
+        # row-buffer runs) separated by compute gaps. A burst access is a
+        # few cycles after its predecessor; the long-gap mean is chosen so
+        # the overall mean gap equals cycles_per_access.
+        in_burst = rng.random(n) < self.burst_fraction
+        long_mean = max(
+            1.0,
+            (self.cycles_per_access - self.burst_fraction * self.burst_gap)
+            / max(1e-9, 1.0 - self.burst_fraction),
+        )
+        gaps = np.where(
+            in_burst,
+            rng.geometric(1.0 / self.burst_gap, size=n),
+            rng.geometric(1.0 / long_mean, size=n),
+        ).astype(np.int64)
+        time = start_time + np.cumsum(gaps)
+        cpu = (np.arange(n, dtype=np.int64) + rng.integers(0, self.n_cpus, size=n)) % self.n_cpus
+        rw = np.where(rng.random(n) < self.write_fraction, WRITE, READ)
+        return make_chunk(addr, time=time, cpu=cpu.astype(np.int16), rw=rw.astype(np.int8))

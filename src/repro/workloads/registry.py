@@ -1,0 +1,67 @@
+"""Name -> workload factory registry.
+
+The six migration-study workloads (Section IV / Table III) plus all ten
+NPB workloads (Section II) are addressable by name. The special name
+``"SPEC2006"`` denotes the multiprogrammed mixture, which is a trace
+factory rather than a single :class:`SyntheticWorkload` — use
+:func:`generate_trace` to treat every name uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import WorkloadError
+from ..trace.record import TraceChunk
+from .base import SyntheticWorkload
+from .npb import NPB_FOOTPRINTS_MB, npb_workload
+from .server import indexer_workload, pgbench_workload, specjbb_workload
+from .spec import spec2006_mixture, spec_workload, SPEC_FOOTPRINTS_MB
+
+#: the six workloads of the trace-based migration study (Table III)
+MIGRATION_STUDY_WORKLOADS = ("FT.C", "MG.C", "pgbench", "indexer", "SPECjbb", "SPEC2006")
+
+_FACTORIES: dict[str, Callable[..., SyntheticWorkload]] = {}
+for _name in NPB_FOOTPRINTS_MB:
+    _FACTORIES[_name] = (lambda n: lambda footprint_bytes=None: npb_workload(n, footprint_bytes))(_name)
+for _name in SPEC_FOOTPRINTS_MB:
+    _FACTORIES[f"spec.{_name}"] = (
+        lambda n: lambda footprint_bytes=None: spec_workload(n, footprint_bytes)
+    )(_name)
+_FACTORIES["pgbench"] = pgbench_workload
+_FACTORIES["indexer"] = indexer_workload
+_FACTORIES["SPECjbb"] = specjbb_workload
+
+
+def available_workloads() -> list[str]:
+    """All registered workload names (including ``"SPEC2006"``)."""
+    return sorted(_FACTORIES) + ["SPEC2006"]
+
+
+def get_workload(name: str, footprint_bytes: int | None = None) -> SyntheticWorkload:
+    """Look up a single-model workload by name."""
+    if name == "SPEC2006":
+        raise WorkloadError(
+            "SPEC2006 is a multiprogrammed mixture; use generate_trace() "
+            "or workloads.spec.spec2006_mixture()"
+        )
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {available_workloads()}"
+        ) from None
+    return factory(footprint_bytes)
+
+
+def generate_trace(
+    name: str,
+    n: int,
+    seed: int = 0,
+    *,
+    footprint_bytes: int | None = None,
+) -> TraceChunk:
+    """Generate ``n`` accesses for any registered workload name."""
+    if name == "SPEC2006":
+        return spec2006_mixture(n, seed, total_footprint_bytes=footprint_bytes)
+    return get_workload(name, footprint_bytes).generate(n, seed)

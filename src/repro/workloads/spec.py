@@ -1,0 +1,85 @@
+"""SPEC CPU2006 single-program models and the paper's 4-way mixture.
+
+The *SPEC2006 Mixture* trace in the paper combines gcc, mcf, perl and
+zeusmp into one multiprogrammed stream (Table III). The mixture's
+footprint exceeds 2 GB; each program gets a disjoint address slice and
+its own CPU id, merged by timestamp — exactly what
+:func:`repro.trace.filters.interleave` implements.
+"""
+
+from __future__ import annotations
+
+from ..errors import WorkloadError
+from ..trace.filters import interleave
+from ..trace.record import TraceChunk
+from ..units import MB
+from .base import PatternSpec, PhaseSpec, SyntheticWorkload
+
+#: per-program footprints (MB). mcf dominates, as in reality.
+SPEC_FOOTPRINTS_MB: dict[str, int] = {
+    "gcc": 420,
+    "mcf": 1680,
+    "perl": 260,
+    "zeusmp": 510,
+}
+
+
+def spec_workload(name: str, footprint_bytes: int | None = None) -> SyntheticWorkload:
+    """One SPEC2006 program model."""
+    if name not in SPEC_FOOTPRINTS_MB:
+        raise WorkloadError(f"unknown SPEC program {name!r}")
+    fp = footprint_bytes if footprint_bytes is not None else SPEC_FOOTPRINTS_MB[name] * MB
+    if name == "gcc":
+        phases = (
+            PhaseSpec(PatternSpec("chase", {"jump_scale_blocks": 128}), weight=1.0, drift=0.06),
+            PhaseSpec(PatternSpec("zipf", {"alpha": 1.5, "spread_blocks": 64}), weight=1.6),
+        )
+        wf, cpa = 0.30, 100.0
+    elif name == "mcf":
+        phases = (
+            PhaseSpec(PatternSpec("chase", {"jump_scale_blocks": 4096}), weight=0.4, drift=0.02),
+            PhaseSpec(PatternSpec("zipf", {"alpha": 1.5, "spread_blocks": 64}), weight=2.0, drift=0.02),
+        )
+        wf, cpa = 0.20, 40.0
+    elif name == "perl":
+        phases = (PhaseSpec(PatternSpec("zipf", {"alpha": 1.6, "spread_blocks": 32}), weight=1.0, drift=0.05),)
+        wf, cpa = 0.35, 160.0
+    else:  # zeusmp: stencil streaming
+        phases = (
+            PhaseSpec(PatternSpec("stream", {"stride_blocks": 1}), weight=0.6),
+            PhaseSpec(PatternSpec("zipf", {"alpha": 1.45, "spread_blocks": 64}), weight=1.2, drift=0.02),
+            PhaseSpec(PatternSpec("stream", {"stride_blocks": 64}), weight=0.5, drift=0.02),
+        )
+        wf, cpa = 0.40, 70.0
+    return SyntheticWorkload(
+        name=f"spec.{name}",
+        footprint_bytes=fp,
+        phases=phases,
+        write_fraction=wf,
+        cycles_per_access=cpa,
+        n_cpus=1,
+    )
+
+
+def spec2006_mixture(
+    n: int, seed: int = 0, *, total_footprint_bytes: int | None = None
+) -> TraceChunk:
+    """Generate the 4-program multiprogrammed mixture trace.
+
+    ``total_footprint_bytes`` scales all four programs proportionally
+    (used by the scaled experiment presets).
+    """
+    names = list(SPEC_FOOTPRINTS_MB)
+    footprints = [SPEC_FOOTPRINTS_MB[p] * MB for p in names]
+    if total_footprint_bytes is not None:
+        paper_total = sum(footprints)
+        footprints = [max(4096, fp * total_footprint_bytes // paper_total) for fp in footprints]
+    per_program = n // len(names)
+    chunks, offsets, base = [], [], 0
+    align = 4 * MB  # keep program slices macro-page aligned at any granularity
+    for i, (prog, fp) in enumerate(zip(names, footprints)):
+        wl = spec_workload(prog, footprint_bytes=fp)
+        chunks.append(wl.generate(per_program, seed=seed + i))
+        offsets.append(base)
+        base += (fp + align - 1) // align * align
+    return interleave(chunks, cpu_ids=list(range(len(names))), offsets=offsets)

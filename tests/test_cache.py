@@ -1,0 +1,241 @@
+"""Tests for the cache substrate: replacement, sets, stack distance,
+hierarchy, the tags-in-DRAM L4 model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.dramcache import DramCacheModel
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.replacement import ClockPseudoLRU, LRUPolicy, MultiQueue
+from repro.cache.sets import SetAssociativeCache, make_cache
+from repro.cache.stackdist import COLD, StackDistanceProfile, stack_distances
+from repro.config import CacheHierarchyConfig, CacheLevelConfig
+from repro.errors import ConfigError
+from repro.units import GB, KB, MB
+
+
+class TestLRUPolicy:
+    def test_victim_is_least_recent(self):
+        lru = LRUPolicy(4)
+        for s in [0, 1, 2, 3, 0, 1]:
+            lru.touch(s)
+        assert lru.victim() == 2
+        assert lru.recency_ranking()[-1] == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            LRUPolicy(0)
+
+
+class TestClockPseudoLRU:
+    def test_untouched_slot_is_victim(self):
+        clock = ClockPseudoLRU(4)
+        clock.touch(0)
+        clock.touch(1)
+        assert clock.victim() == 2
+
+    def test_all_touched_sweeps_and_clears(self):
+        clock = ClockPseudoLRU(3)
+        for s in range(3):
+            clock.touch(s)
+        v = clock.victim()
+        assert 0 <= v < 3
+        # bits behind the hand were cleared during the sweep
+        assert clock.bits.sum() < 3
+
+    def test_approximates_lru_on_skewed_stream(self):
+        """The clock's victim should rarely be a recently-hot slot."""
+        rng = np.random.default_rng(0)
+        clock = ClockPseudoLRU(8)
+        for _ in range(500):
+            clock.touch(int(rng.integers(0, 4)))  # slots 0-3 hot
+            if rng.random() < 0.05:
+                assert clock.victim() >= 4 or clock.bits[:4].sum() < 4
+
+    def test_touch_many(self):
+        clock = ClockPseudoLRU(8)
+        clock.touch_many(np.array([1, 3, 5]))
+        assert clock.bits[[1, 3, 5]].all()
+
+    def test_state_bits(self):
+        assert ClockPseudoLRU(256).state_bits == 256  # Fig 10's 256-bit map
+
+
+class TestMultiQueue:
+    def test_hot_page_promoted(self):
+        mq = MultiQueue(3, 10)
+        for _ in range(3):
+            mq.touch(42)
+        mq.touch(7)
+        # 42 sits at the top level; 7 only at level 0 — hottest is 42
+        assert mq._level_of[42] == 2
+        assert mq._level_of[7] == 0
+        assert mq.hottest() == 42
+
+    def test_hottest_is_top_level_newest(self):
+        mq = MultiQueue(3, 10)
+        for page in (1, 1, 1, 2, 2, 2):
+            mq.touch(page)
+        assert mq.hottest() == 2
+
+    def test_overflow_demotes(self):
+        mq = MultiQueue(2, 2)
+        for page in range(5):
+            mq.touch(page)
+        assert len(mq) <= 4
+
+    def test_forget(self):
+        mq = MultiQueue()
+        mq.touch(5)
+        assert 5 in mq
+        mq.forget(5)
+        assert 5 not in mq
+        mq.forget(5)  # idempotent
+
+    def test_paper_state_bits(self):
+        """3 levels x 10 entries x 26-bit ids = 780 bits (Section III-B)."""
+        assert MultiQueue(3, 10).state_bits == 780
+
+    def test_empty_hottest(self):
+        assert MultiQueue().hottest() is None
+
+
+class TestSetAssociativeCache:
+    def test_hits_after_fill(self):
+        c = make_cache(4 * KB, ways=4)
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.contains(0)
+
+    def test_lru_eviction_within_set(self):
+        c = make_cache(4 * KB, ways=2)  # 32 sets
+        stride = c.n_sets * 64  # same set, different tags
+        c.access(0)
+        c.access(stride)
+        c.access(2 * stride)  # evicts tag of addr 0
+        assert not c.contains(0)
+        assert c.contains(stride)
+
+    def test_miss_rate_counter(self):
+        c = make_cache(4 * KB, ways=4)
+        c.access_many(np.array([0, 0, 64, 64]))
+        assert c.miss_rate == 0.5
+        c.reset_counters()
+        assert c.miss_rate == 0.0
+
+    def test_flush(self):
+        c = make_cache(4 * KB, ways=4)
+        c.access(0)
+        c.flush()
+        assert not c.contains(0)
+
+
+class TestStackDistance:
+    def test_simple_sequence(self):
+        # lines: A B A -> distances: cold, cold, 1
+        d = stack_distances(np.array([0, 1, 0]))
+        assert d[0] == COLD and d[1] == COLD and d[2] == 1
+
+    def test_immediate_reuse_distance_zero(self):
+        d = stack_distances(np.array([5, 5]))
+        assert d[1] == 0
+
+    def test_classic_example(self):
+        # A B C B A: dist(A@4) = 2 (B, C distinct in between)
+        d = stack_distances(np.array([1, 2, 3, 2, 1]))
+        assert d[3] == 1
+        assert d[4] == 2
+
+    def test_matches_fully_associative_cache(self):
+        rng = np.random.default_rng(1)
+        addr = (rng.zipf(1.3, 4000) % 500) * 64
+        profile = StackDistanceProfile(addr)
+        for capacity in (1 * KB, 8 * KB, 16 * KB):
+            cache = make_cache(capacity, ways=capacity // 64)
+            hits = cache.access_many(addr)
+            assert profile.miss_rate(capacity) == pytest.approx(1 - hits.mean())
+
+    def test_miss_rates_batch_matches_single(self):
+        rng = np.random.default_rng(2)
+        addr = rng.integers(0, 1000, 2000) * 64
+        p = StackDistanceProfile(addr)
+        caps = [1 * KB, 4 * KB, 64 * KB]
+        assert p.miss_rates(caps) == [p.miss_rate(c) for c in caps]
+
+    def test_miss_rate_monotone_in_capacity(self):
+        rng = np.random.default_rng(3)
+        addr = rng.integers(0, 5000, 3000) * 64
+        p = StackDistanceProfile(addr)
+        rates = p.miss_rates([1 * KB, 16 * KB, 256 * KB, 4 * MB])
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=200))
+    def test_inclusion_property(self, lines):
+        """A bigger LRU cache never misses where a smaller one hits."""
+        p = StackDistanceProfile(np.array(lines) * 64)
+        small = p.miss_mask(4 * 64)
+        big = p.miss_mask(16 * 64)
+        assert not (big & ~small).any()
+
+    def test_empty(self):
+        p = StackDistanceProfile(np.array([], dtype=np.int64))
+        assert p.miss_rate(1 * KB) == 0.0
+        assert p.miss_rates([1 * KB]) == [0.0]
+
+
+class TestHierarchy:
+    def test_level_hits_sum_to_one_minus_memory(self):
+        rng = np.random.default_rng(4)
+        addr = (rng.zipf(1.2, 5000) % 100000) * 64
+        h = CacheHierarchy()
+        profile = StackDistanceProfile(addr)
+        stats = h.analyze(profile)
+        total = stats.l1_hit + stats.l2_hit + stats.l3_hit + stats.memory_fraction
+        assert total == pytest.approx(1.0)
+
+    def test_memory_trace_filters(self):
+        rng = np.random.default_rng(5)
+        from repro.trace.record import make_chunk
+
+        addr = rng.integers(0, 10_000_000, 4000) // 64 * 64
+        chunk = make_chunk(addr)
+        h = CacheHierarchy()
+        filtered = h.memory_trace(chunk)
+        profile = StackDistanceProfile(chunk.addr)
+        assert len(filtered) == profile.miss_count(8 * MB)
+
+    def test_amat_grows_with_memory_latency(self):
+        rng = np.random.default_rng(6)
+        profile = StackDistanceProfile(rng.integers(0, 1_000_000, 3000) * 64)
+        h = CacheHierarchy()
+        assert h.amat_cycles(profile, 200) > h.amat_cycles(profile, 70)
+
+
+class TestDramCache:
+    def test_paper_latencies(self):
+        """Table II: L4 hit 140 cycles (2x on-package), miss adds 70."""
+        l4 = DramCacheModel(1 * GB, onpkg_access_cycles=70)
+        assert l4.hit_cycles == 140
+        assert l4.miss_penalty_cycles == 70
+
+    def test_effective_capacity_is_15_16ths(self):
+        l4 = DramCacheModel(1 * GB)
+        assert l4.effective_capacity_bytes == 1 * GB * 15 // 16
+
+    def test_average_latency_bounds(self):
+        rng = np.random.default_rng(7)
+        profile = StackDistanceProfile(rng.integers(0, 100_000, 2000) * 64)
+        l4 = DramCacheModel(64 * MB, onpkg_access_cycles=70)
+        avg = l4.average_latency(profile, memory_latency=200)
+        assert l4.hit_cycles <= avg <= l4.miss_penalty_cycles + 200
+
+    def test_functional_cache_is_15_way(self):
+        l4 = DramCacheModel(1 * MB, onpkg_access_cycles=70)
+        cache = l4.functional_cache()
+        assert cache.ways == 15
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            DramCacheModel(0)

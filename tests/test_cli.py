@@ -1,0 +1,47 @@
+"""Tests for the command-line entry points."""
+
+import pytest
+
+from repro.experiments.runner import main as experiments_main
+from repro.trace.__main__ import main as trace_main
+
+
+class TestTraceCli:
+    def test_gen_stats_head_roundtrip(self, tmp_path, capsys):
+        path = str(tmp_path / "t.rptrace")
+        assert trace_main(["gen", "pgbench", path, "-n", "2000",
+                           "--footprint", "16MB"]) == 0
+        assert trace_main(["stats", path]) == 0
+        out = capsys.readouterr().out
+        assert "accesses:   2000" in out
+        assert trace_main(["head", path, "-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("cpu=") == 3
+
+    def test_rejects_unknown_workload(self, tmp_path):
+        with pytest.raises(SystemExit):
+            trace_main(["gen", "nope", str(tmp_path / "x")])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            trace_main([])
+
+
+class TestExperimentsCli:
+    def test_fig10(self, capsys):
+        assert experiments_main(["fig10"]) == 0
+        assert "9228" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            experiments_main(["fig99"])
+
+
+class TestFiguresCli:
+    def test_fig10_svg(self, tmp_path, monkeypatch):
+        # render only the cheap analytic figure by calling it directly
+        from repro.plotting.figures import fig10
+
+        fig10(tmp_path)
+        svg = (tmp_path / "fig10_hw_bits.svg").read_text()
+        assert svg.startswith("<svg")

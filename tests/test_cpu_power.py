@@ -1,0 +1,194 @@
+"""Tests for the CPU/IPC model (Fig 5 machinery) and the power model
+(Fig 16 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.cache.stackdist import StackDistanceProfile
+from repro.config import CacheHierarchyConfig, CacheLevelConfig, PowerConfig
+from repro.core.simulator import SimulationResult
+from repro.cpu.amat import (
+    FixedLatencies,
+    MemoryOrganization,
+    amat_for_organization,
+    static_lowaddr_fraction,
+)
+from repro.cpu.core import BlockingCore
+from repro.cpu.system import IpcModel
+from repro.errors import ConfigError
+from repro.power.energy import MemoryEnergyModel
+from repro.units import KB, MB
+
+
+def small_caches() -> CacheHierarchyConfig:
+    return CacheHierarchyConfig(
+        l1=CacheLevelConfig(4 * KB, 4, 2),
+        l2=CacheLevelConfig(16 * KB, 8, 5),
+        l3=CacheLevelConfig(128 * KB, 16, 25, shared=True),
+        n_cores=1,
+    )
+
+
+class TestFixedLatencies:
+    def test_table2_totals(self):
+        """off = 34 + 50 + 116 = 200; on = 20 + 50 = 70 (Table II)."""
+        lat = FixedLatencies.from_components()
+        assert lat.offpkg == 200
+        assert lat.onpkg == 70
+
+
+class TestAmat:
+    def _profile(self, seed=0, n=4000, lines=200_000):
+        rng = np.random.default_rng(seed)
+        return StackDistanceProfile((rng.zipf(1.3, n) % lines) * 64)
+
+    def test_baseline_and_ideal(self):
+        p = self._profile()
+        base = amat_for_organization(
+            MemoryOrganization.BASELINE, p,
+            onpkg_capacity_bytes=1 * MB, l3_capacity_bytes=128 * KB,
+        )
+        ideal = amat_for_organization(
+            MemoryOrganization.ALL_ONPKG, p,
+            onpkg_capacity_bytes=1 * MB, l3_capacity_bytes=128 * KB,
+        )
+        assert (base, ideal) == (200.0, 70.0)
+
+    def test_l4_between_hit_and_miss_cost(self):
+        p = self._profile()
+        l4 = amat_for_organization(
+            MemoryOrganization.L4_CACHE, p,
+            onpkg_capacity_bytes=1 * MB, l3_capacity_bytes=128 * KB,
+        )
+        assert 140 <= l4 <= 270
+
+    def test_static_needs_fraction(self):
+        p = self._profile()
+        with pytest.raises(ConfigError):
+            amat_for_organization(
+                MemoryOrganization.STATIC_ONPKG, p,
+                onpkg_capacity_bytes=1 * MB, l3_capacity_bytes=128 * KB,
+            )
+
+    def test_static_fraction_interpolates(self):
+        p = self._profile()
+        for f, expected in ((0.0, 200.0), (1.0, 70.0), (0.5, 135.0)):
+            assert amat_for_organization(
+                MemoryOrganization.STATIC_ONPKG, p,
+                onpkg_capacity_bytes=1 * MB, l3_capacity_bytes=128 * KB,
+                lowaddr_onpkg_fraction=f,
+            ) == pytest.approx(expected)
+
+    def test_static_lowaddr_fraction(self):
+        addr = np.array([0, 1 * MB, 2 * MB, 3 * MB]) + 0
+        p = StackDistanceProfile(addr)  # all cold -> all post-L3
+        f = static_lowaddr_fraction(addr, p, l3_capacity_bytes=64, onpkg_capacity_bytes=2 * MB)
+        assert f == pytest.approx(0.5)
+
+
+class TestIpcModel:
+    def test_ideal_always_best(self):
+        rng = np.random.default_rng(1)
+        from repro.trace.record import make_chunk
+
+        trace = make_chunk((rng.zipf(1.2, 5000) % 500_000) * 64)
+        model = IpcModel(small_caches(), onpkg_capacity_bytes=1 * MB)
+        results = model.compare_all(trace)
+        ideal = results[MemoryOrganization.ALL_ONPKG]
+        for org, res in results.items():
+            assert ideal.ipc >= res.ipc - 1e-12, org
+
+    def test_small_footprint_static_equals_ideal(self):
+        rng = np.random.default_rng(2)
+        from repro.trace.record import make_chunk
+
+        trace = make_chunk(rng.integers(0, (1 * MB) // 64, 5000) * 64)
+        model = IpcModel(small_caches(), onpkg_capacity_bytes=4 * MB)
+        results = model.compare_all(trace)
+        assert results[MemoryOrganization.STATIC_ONPKG].ipc == pytest.approx(
+            results[MemoryOrganization.ALL_ONPKG].ipc
+        )
+
+    def test_improvement_over(self):
+        model = IpcModel(small_caches(), onpkg_capacity_bytes=1 * MB)
+        rng = np.random.default_rng(3)
+        from repro.trace.record import make_chunk
+
+        trace = make_chunk(rng.integers(0, 10_000_000, 3000) // 64 * 64)
+        res = model.compare_all(trace)
+        base = res[MemoryOrganization.BASELINE]
+        assert res[MemoryOrganization.ALL_ONPKG].improvement_over(base) > 0
+        assert base.improvement_over(base) == 0.0
+
+    def test_rejects_bad_refs_per_instruction(self):
+        with pytest.raises(ConfigError):
+            IpcModel(small_caches(), onpkg_capacity_bytes=1 * MB, refs_per_instruction=0)
+
+
+class TestBlockingCore:
+    def test_amat_matches_analytic_on_shared_stream(self):
+        """Mechanical per-set simulation vs stack-distance analytics."""
+        rng = np.random.default_rng(4)
+        addr = (rng.zipf(1.5, 6000) % 4096) * 64
+        caches = small_caches()
+        core = BlockingCore(caches, memory_latency=200.0)
+        stats = core.run(addr)
+        from repro.cache.hierarchy import CacheHierarchy
+
+        profile = StackDistanceProfile(addr)
+        analytic = CacheHierarchy(caches).amat_cycles(profile, 200.0)
+        # set conflicts make the mechanical sim slightly worse than the
+        # fully-associative analytic bound
+        assert stats.amat == pytest.approx(analytic, rel=0.15)
+        assert stats.amat >= analytic * 0.85
+
+
+class TestPowerModel:
+    def test_offpkg_access_costs_more(self):
+        m = MemoryEnergyModel()
+        assert m.access_energy_pj(onpkg=False) > m.access_energy_pj(onpkg=True)
+
+    def test_paper_constants(self):
+        c = PowerConfig()
+        assert (c.dram_core_pj_per_bit, c.onpkg_link_pj_per_bit, c.offpkg_link_pj_per_bit) == (
+            5.0, 1.66, 13.0,
+        )
+
+    def test_access_energy_value(self):
+        m = MemoryEnergyModel()
+        # 64 B x 8 bits x (5 + 13) pJ/bit
+        assert m.access_energy_pj(onpkg=False) == pytest.approx(512 * 18.0)
+
+    def test_report_normalisation(self):
+        m = MemoryEnergyModel()
+        res = SimulationResult(
+            n_accesses=1000, onpkg_accesses=600, offpkg_accesses=400,
+            migrated_bytes=0, cross_boundary_migrated_bytes=0,
+        )
+        report = m.report(res)
+        assert report.migration_energy_pj == 0.0
+        assert report.normalized < 1.0  # hybrid without migration is cheaper
+
+    def test_migration_traffic_adds_energy(self):
+        m = MemoryEnergyModel()
+        a = SimulationResult(n_accesses=1000, onpkg_accesses=600, offpkg_accesses=400)
+        b = SimulationResult(
+            n_accesses=1000, onpkg_accesses=600, offpkg_accesses=400,
+            migrated_bytes=1 * MB, cross_boundary_migrated_bytes=1 * MB,
+        )
+        assert m.report(b).total_pj > m.report(a).total_pj
+
+    def test_frequent_small_swaps_cost_about_2x(self):
+        """The paper's Fig 16 floor: ~2x at (4 KB pages, 100K interval)
+        rises steeply as swapping gets more frequent."""
+        m = MemoryEnergyModel()
+
+        def result(migrated):
+            return SimulationResult(
+                n_accesses=100_000, onpkg_accesses=70_000, offpkg_accesses=30_000,
+                migrated_bytes=migrated, cross_boundary_migrated_bytes=migrated,
+            )
+
+        rare = m.report(result(3 * 4096 * 1))         # one 4 KB swap
+        frequent = m.report(result(3 * 4096 * 100))   # a hundred
+        assert frequent.normalized > rare.normalized

@@ -1,0 +1,320 @@
+"""Tests for the DRAM substrate: geometry, banks, FR-FCFS, latency paths."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DramTiming, LatencyComponents, offpkg_dram_timing, onpkg_dram_timing
+from repro.dram.bank import Bank
+from repro.dram.fastmodel import FastDevice
+from repro.dram.latency import LatencyModel, make_offpkg_model, make_onpkg_model
+from repro.dram.scheduler import EventDrivenDevice, FRFCFSScheduler
+from repro.dram.timing import DramGeometry
+from repro.errors import ConfigError, SimulationError
+
+
+class TestGeometry:
+    def test_decompose_interleaves_channels_then_banks(self):
+        geo = DramGeometry(offpkg_dram_timing(), row_bytes=8192)
+        ch, bank, row = geo.decompose(np.array([0, 8192, 8192 * 4, 8192 * 32]))
+        assert ch.tolist() == [0, 1, 0, 0]
+        assert bank.tolist() == [0, 0, 1, 0]
+        assert row.tolist() == [0, 0, 0, 1]
+
+    def test_queue_count(self):
+        assert DramGeometry(offpkg_dram_timing()).n_queues == 32
+        assert DramGeometry(onpkg_dram_timing()).n_queues == 128
+
+    def test_rejects_bad_row_bytes(self):
+        with pytest.raises(ConfigError):
+            DramGeometry(offpkg_dram_timing(), row_bytes=1000)
+
+
+class TestBank:
+    def test_cold_access_is_conflict(self):
+        bank = Bank(offpkg_dram_timing())
+        start, finish, hit = bank.access(row=3, arrival=0)
+        assert not hit
+        assert finish - start == bank.timing.miss_cycles
+
+    def test_row_hit_then_conflict(self):
+        t = offpkg_dram_timing()
+        bank = Bank(t)
+        bank.access(3, 0)
+        _, f1, hit1 = bank.access(3, 1000)
+        assert hit1 and f1 == 1000 + t.hit_cycles
+        _, _, hit2 = bank.access(4, 2000)
+        assert not hit2
+        assert bank.hits == 1 and bank.conflicts == 2
+        assert bank.row_hit_rate == pytest.approx(1 / 3)
+
+    def test_busy_bank_queues(self):
+        t = offpkg_dram_timing()
+        bank = Bank(t)
+        _, f1, _ = bank.access(1, 0)
+        s2, _, _ = bank.access(1, 1)
+        assert s2 == f1  # waits for the bank
+
+    def test_queue_wait_capped(self):
+        t = DramTiming(max_queue_wait=100)
+        bank = Bank(t)
+        bank.ready_time = 10_000
+        s, f, _ = bank.access(1, arrival=0)
+        assert s == 100
+
+
+class TestFRFCFS:
+    def test_row_hit_scheduled_first(self):
+        """Two pending requests: the row hit jumps the queue (FR),
+        even if the conflicting request is older."""
+        t = offpkg_dram_timing()
+        sched = FRFCFSScheduler(t)
+        # row 0 opens the buffer; then a conflict (row 9) arrives before a
+        # hit (row 0), both pending while the bank is busy
+        rows = np.array([0, 9, 0])
+        arrivals = np.array([0, 1, 2])
+        start, finish, hit = sched.service(rows, arrivals)
+        assert hit.tolist() == [False, False, True]
+        # the third request (hit) is serviced before the second
+        assert start[2] < start[1]
+
+    def test_fcfs_tiebreak_oldest(self):
+        t = offpkg_dram_timing()
+        sched = FRFCFSScheduler(t)
+        rows = np.array([0, 5, 7])
+        arrivals = np.array([0, 1, 2])
+        start, _, _ = sched.service(rows, arrivals)
+        assert start[1] < start[2]
+
+    def test_rejects_unsorted_arrivals(self):
+        sched = FRFCFSScheduler(offpkg_dram_timing())
+        with pytest.raises(SimulationError):
+            sched.service(np.array([0, 1]), np.array([5, 1]))
+
+
+class TestDeviceCrossValidation:
+    """FastDevice vs EventDrivenDevice on identical streams."""
+
+    def _random_stream(self, n, seed, span=1 << 26, max_gap=60):
+        rng = np.random.default_rng(seed)
+        addr = rng.integers(0, span // 64, n) * 64
+        arrivals = np.cumsum(rng.integers(1, max_gap, n))
+        return addr, arrivals
+
+    @pytest.mark.parametrize("timing", [offpkg_dram_timing(), onpkg_dram_timing()])
+    def test_agree_on_light_load(self, timing):
+        addr, arrivals = self._random_stream(3000, seed=1)
+        geo = DramGeometry(timing)
+        fast = FastDevice(geo).service(addr, arrivals)
+        event = EventDrivenDevice(geo).service(addr, arrivals)
+        # FR-FCFS reordering only matters when queues build; under light
+        # load the two must agree almost everywhere, and closely on average
+        agree = (fast == event).mean()
+        assert agree > 0.95
+        assert abs(fast.mean() - event.mean()) / event.mean() < 0.02
+
+    def test_sequential_stream_row_hits(self):
+        geo = DramGeometry(offpkg_dram_timing())
+        addr = np.arange(5000, dtype=np.int64) * 64
+        arrivals = np.arange(5000, dtype=np.int64) * 70
+        dev = FastDevice(geo)
+        dev.service(addr, arrivals)
+        assert dev.row_hit_rate > 0.9  # 8 KB rows -> 127/128 hits
+
+    def test_random_traffic_row_misses(self):
+        geo = DramGeometry(offpkg_dram_timing())
+        addr, arrivals = self._random_stream(5000, seed=2, span=1 << 30)
+        dev = FastDevice(geo)
+        dev.service(addr, arrivals)
+        assert dev.row_hit_rate < 0.1
+
+    def test_state_persists_across_chunks(self):
+        geo = DramGeometry(offpkg_dram_timing())
+        addr, arrivals = self._random_stream(2000, seed=3)
+        whole = FastDevice(geo).service(addr, arrivals)
+        dev = FastDevice(geo)
+        parts = np.concatenate(
+            [dev.service(addr[:1000], arrivals[:1000]), dev.service(addr[1000:], arrivals[1000:])]
+        )
+        np.testing.assert_array_equal(whole, parts)
+
+    def test_reset(self):
+        geo = DramGeometry(offpkg_dram_timing())
+        dev = FastDevice(geo)
+        addr, arrivals = self._random_stream(100, seed=4)
+        dev.service(addr, arrivals)
+        dev.reset()
+        assert dev.row_hits == 0 and dev.row_conflicts == 0
+
+    def test_empty_chunk(self):
+        geo = DramGeometry(offpkg_dram_timing())
+        assert FastDevice(geo).service(np.array([], dtype=np.int64), np.array([], dtype=np.int64)).size == 0
+
+    def test_rejects_unsorted(self):
+        geo = DramGeometry(offpkg_dram_timing())
+        with pytest.raises(SimulationError):
+            FastDevice(geo).service(np.array([0, 64]), np.array([5, 1]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000), n=st.integers(10, 400))
+    def test_agreement_property(self, seed, n):
+        addr, arrivals = self._random_stream(n, seed)
+        geo = DramGeometry(offpkg_dram_timing())
+        fast = FastDevice(geo).service(addr, arrivals)
+        event = EventDrivenDevice(geo).service(addr, arrivals)
+        assert fast.min() >= offpkg_dram_timing().hit_cycles
+        # mean within 5% even when occasional reordering differs
+        assert abs(fast.mean() - event.mean()) <= max(2.0, 0.05 * event.mean())
+
+
+class TestQueuingClaims:
+    """Section II's bank-count claim: heavy traffic queues on the 8-bank
+    off-package DRAM but barely on the 128-bank on-package DRAM."""
+
+    def test_many_banks_kill_queuing(self):
+        rng = np.random.default_rng(0)
+        n = 30000
+        addr = rng.integers(0, (1 << 27) // 64, n) * 64
+        arrivals = np.cumsum(rng.integers(1, 12, n))  # heavy load
+        off = FastDevice(DramGeometry(offpkg_dram_timing()))
+        on = FastDevice(DramGeometry(onpkg_dram_timing()))
+        off_lat = off.service(addr, arrivals)
+        on_lat = on.service(addr, arrivals)
+        off_queue = off_lat.mean() - offpkg_dram_timing().miss_cycles
+        on_queue = on_lat.mean() - onpkg_dram_timing().miss_cycles
+        assert off_queue > 5 * max(on_queue, 1.0)
+
+
+class TestLatencyModel:
+    def test_path_overheads(self):
+        assert make_offpkg_model().path_overhead == 34
+        assert make_onpkg_model().path_overhead == 20
+
+    def test_unloaded_latency_composition(self):
+        m = make_offpkg_model()
+        assert m.unloaded_latency() == 34 + offpkg_dram_timing().miss_cycles
+
+    def test_access_latency_adds_path(self):
+        m = make_onpkg_model()
+        lat = m.access_latency(np.array([0]), np.array([0]))
+        assert lat[0] == onpkg_dram_timing().miss_cycles + 20
+
+    def test_detailed_flag_switches_device(self):
+        assert isinstance(make_offpkg_model(detailed=True).device, EventDrivenDevice)
+        assert isinstance(make_offpkg_model().device, FastDevice)
+
+
+class TestRefresh:
+    """Optional tREFI/tRFC refresh windows (extension; see bench_refresh)."""
+
+    def _timing(self):
+        return DramTiming(refresh_interval=1000, refresh_cycles=100)
+
+    def test_access_in_window_waits(self):
+        bank = Bank(self._timing())
+        # arrival at cycle 2030: 70 cycles of the window remain
+        start, finish, _ = bank.access(row=1, arrival=2030)
+        assert start == 2100
+
+    def test_access_outside_window_unaffected(self):
+        bank = Bank(self._timing())
+        start, _, _ = bank.access(row=1, arrival=2500)
+        assert start == 2500
+
+    def test_fast_model_charges_the_wait(self):
+        geo = DramGeometry(self._timing())
+        dev = FastDevice(geo)
+        lat = dev.service(np.array([0, 0]), np.array([2030, 2500]))
+        assert lat[0] - lat[1] >= 60  # ~70-cycle refresh wait, row-state aside
+
+    def test_fast_and_bank_agree(self):
+        timing = self._timing()
+        geo = DramGeometry(timing)
+        rng = np.random.default_rng(0)
+        addr = rng.integers(0, 1 << 20, 500) // 64 * 64
+        arrivals = np.cumsum(rng.integers(50, 300, 500))
+        fast = FastDevice(geo).service(addr, arrivals)
+        event = EventDrivenDevice(geo).service(addr, arrivals)
+        assert abs(fast.mean() - event.mean()) < max(2.0, 0.05 * event.mean())
+
+    def test_invalid_refresh_config(self):
+        with pytest.raises(ConfigError):
+            DramTiming(refresh_interval=100, refresh_cycles=100)
+        with pytest.raises(ConfigError):
+            DramTiming(refresh_interval=-1)
+
+
+class TestWriteRecovery:
+    """Optional tWR write-recovery modelling."""
+
+    def test_write_costs_more_when_enabled(self):
+        t = DramTiming(t_wr=48)
+        bank = Bank(t)
+        _, f_w, _ = bank.access(1, 0, write=True)
+        bank2 = Bank(t)
+        _, f_r, _ = bank2.access(1, 0, write=False)
+        assert f_w - f_r == 48
+
+    def test_disabled_by_default(self):
+        bank = Bank(offpkg_dram_timing())
+        _, f_w, _ = bank.access(1, 0, write=True)
+        bank2 = Bank(offpkg_dram_timing())
+        _, f_r, _ = bank2.access(1, 0, write=False)
+        assert f_w == f_r
+
+    def test_fast_model_charges_writes(self):
+        t = DramTiming(t_wr=48)
+        geo = DramGeometry(t)
+        addr = np.arange(100, dtype=np.int64) * 8192 * 64  # distinct banks/rows
+        arrivals = np.arange(100, dtype=np.int64) * 500
+        reads = FastDevice(geo).service(addr, arrivals, np.zeros(100, dtype=bool))
+        writes = FastDevice(geo).service(addr, arrivals, np.ones(100, dtype=bool))
+        assert (writes - reads == 48).all()
+
+    def test_fast_and_event_agree_with_writes(self):
+        t = DramTiming(t_wr=48)
+        geo = DramGeometry(t)
+        rng = np.random.default_rng(5)
+        addr = rng.integers(0, 1 << 20, 400) // 64 * 64
+        arrivals = np.cumsum(rng.integers(30, 200, 400))
+        w = rng.random(400) < 0.4
+        fast = FastDevice(geo).service(addr, arrivals, w)
+        event = EventDrivenDevice(geo).service(addr, arrivals, w)
+        assert abs(fast.mean() - event.mean()) < max(2.0, 0.05 * event.mean())
+
+
+class TestChannelBus:
+    """Optional per-channel data-bus serialisation."""
+
+    def test_uncontended_adds_nothing(self):
+        base = DramTiming()
+        bus = DramTiming(channel_bus=True)
+        addr = np.arange(50, dtype=np.int64) * 64
+        arrivals = np.arange(50, dtype=np.int64) * 1000  # far apart
+        a = FastDevice(DramGeometry(base)).service(addr, arrivals)
+        b = FastDevice(DramGeometry(bus)).service(addr, arrivals)
+        np.testing.assert_array_equal(a, b)
+
+    def test_contention_queues_bursts(self):
+        """Simultaneous accesses to different banks of ONE channel must
+        serialise their data bursts when the bus is modelled."""
+        base = DramTiming(n_channels=1, n_banks=8)
+        bus = DramTiming(n_channels=1, n_banks=8, channel_bus=True)
+        # 8 accesses, one per bank, all arriving together
+        addr = (np.arange(8, dtype=np.int64) * 8192)
+        arrivals = np.zeros(8, dtype=np.int64)
+        a = FastDevice(DramGeometry(base)).service(addr, arrivals)
+        b = FastDevice(DramGeometry(bus)).service(addr, arrivals)
+        assert b.sum() > a.sum()
+        # the worst access waits ~7 extra bursts
+        assert b.max() - a.max() >= 6 * base.io_cycles
+
+    def test_channels_are_independent(self):
+        bus = DramTiming(n_channels=4, n_banks=8, channel_bus=True)
+        # one access per channel, simultaneous: no shared bus -> no extra
+        addr = np.arange(4, dtype=np.int64) * 8192
+        arrivals = np.zeros(4, dtype=np.int64)
+        base = DramTiming(n_channels=4, n_banks=8)
+        a = FastDevice(DramGeometry(base)).service(addr, arrivals)
+        b = FastDevice(DramGeometry(bus)).service(addr, arrivals)
+        np.testing.assert_array_equal(a, b)

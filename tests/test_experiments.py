@@ -1,0 +1,69 @@
+"""Smoke/shape tests for the experiment runners (tiny inputs).
+
+Full-size runs live in ``benchmarks/``; here we only check each runner
+produces well-formed tables and that the cheap analytic ones hit their
+paper reference points exactly.
+"""
+
+import pytest
+
+from repro.experiments import common
+from repro.experiments.fig10 import run as fig10_run
+from repro.experiments.table1 import run as table1_run
+from repro.stats.report import Table
+from repro.units import MB
+
+
+class TestCommon:
+    def test_migration_config_geometry(self):
+        cfg = common.migration_config()
+        # the 12.5% on-package ratio of Table III is preserved
+        assert cfg.onpkg_bytes * 8 == cfg.total_bytes
+
+    def test_fig15_capacity_override(self):
+        cfg = common.migration_config(onpkg_paper_mb=128)
+        assert cfg.onpkg_bytes == 128 * MB // common.MIGRATION_SCALE
+
+    def test_footprints_fit_total_memory(self):
+        total = common.migration_config().total_bytes
+        for wl in common.all_migration_workloads():
+            assert common.scaled_footprint(wl) < total
+
+    def test_footprint_ratios_all_exceed_onpkg(self):
+        onpkg = common.migration_config().onpkg_bytes
+        for wl in common.all_migration_workloads():
+            assert common.scaled_footprint(wl) >= 4 * onpkg
+
+    def test_trace_cache_returns_same_object(self):
+        a = common.migration_trace("pgbench", 2000)
+        b = common.migration_trace("pgbench", 2000)
+        assert a is b
+
+
+class TestFig10Runner:
+    def test_table_contains_paper_number(self):
+        table = fig10_run()
+        assert isinstance(table, Table)
+        rendered = table.render()
+        assert "9228" in rendered
+        assert "4096KB" in rendered
+
+
+class TestTable1Runner:
+    def test_rows_for_all_ten_workloads(self):
+        table = table1_run(fast=True)
+        assert len(table.rows) == 10
+        rendered = table.render()
+        for name in ("FT.C", "DC.B", "EP.C"):
+            assert name in rendered
+
+
+class TestReportTable:
+    def test_render_and_validation(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row(1, 2)
+        t.add_footnote("note")
+        out = t.render()
+        assert "demo" in out and "note" in out
+        with pytest.raises(Exception):
+            t.add_row(1)

@@ -1,0 +1,56 @@
+"""Tests for the hardware/OS cost models (Fig 10, Section III-B)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.migration.overhead import (
+    hardware_bits,
+    os_assisted_update_cycles,
+    translation_cycles,
+)
+from repro.units import GB, KB, MB
+
+
+class TestFig10:
+    def test_paper_reference_point(self):
+        """1 GB at 4 MB pages: 7,168-bit table + 1,024-bit fill bitmap +
+        256-bit clock map + 780-bit multi-queue = 9,228 bits."""
+        cost = hardware_bits(1 * GB, 4 * MB)
+        assert cost.n_entries == 256
+        assert cost.bits_per_entry == 28
+        assert cost.table_bits == 7168
+        assert cost.fill_bitmap_bits == 1024
+        assert cost.plru_bits == 256
+        assert cost.multiqueue_bits == 780
+        assert cost.total_bits == 9228
+
+    def test_cost_explodes_at_fine_granularity(self):
+        """Fig 10's shape: ~1000x more bits at 4 KB than at 4 MB."""
+        coarse = hardware_bits(1 * GB, 4 * MB).total_bits
+        fine = hardware_bits(1 * GB, 4 * KB).total_bits
+        assert fine > 500 * coarse
+
+    def test_monotone_decreasing_in_page_size(self):
+        sizes = [4 * KB, 16 * KB, 64 * KB, 256 * KB, 1 * MB, 4 * MB]
+        totals = [hardware_bits(1 * GB, s).total_bits for s in sizes]
+        assert all(a > b for a, b in zip(totals, totals[1:]))
+
+    def test_rejects_page_larger_than_region(self):
+        with pytest.raises(ConfigError):
+            hardware_bits(1 * MB, 4 * MB)
+
+
+class TestOsAssist:
+    def test_update_cost_is_127_per_switch(self):
+        assert os_assisted_update_cycles(1) == 127
+        assert os_assisted_update_cycles(4) == 4 * 127
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            os_assisted_update_cycles(-1)
+
+
+def test_translation_cycles_constant():
+    assert translation_cycles(False) == 2
+    assert translation_cycles(True) == 2
+    assert translation_cycles(True, hw_cycles=3) == 3

@@ -1,0 +1,94 @@
+"""Tests for the zero-dependency SVG chart module."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.plotting.svg import BarChart, LineChart, _fmt, _ticks
+
+
+class TestHelpers:
+    def test_ticks_cover_range(self):
+        ticks = _ticks(0.0, 100.0)
+        assert ticks[0] >= 0.0 and ticks[-1] <= 100.0
+        assert 3 <= len(ticks) <= 12
+
+    def test_ticks_degenerate_range(self):
+        assert _ticks(5.0, 5.0)  # does not crash / loop
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, "0"), (1500, "1.5k"), (2_000_000, "2M"), (0.001, "1e-03")],
+    )
+    def test_fmt(self, value, expected):
+        assert _fmt(value) == expected
+
+
+class TestLineChart:
+    def _chart(self):
+        c = LineChart("t", ylabel="y")
+        c.categories = ["a", "b", "c"]
+        c.add_series("s1", [1.0, 2.0, 3.0])
+        c.add_series("s2", [3.0, 2.0, 1.0])
+        return c
+
+    def test_renders_valid_svg(self):
+        svg = self._chart().render()
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert svg.count("<polyline") == 2
+        assert "s1" in svg and "s2" in svg
+
+    def test_escapes_markup(self):
+        c = LineChart("a < b & c")
+        c.categories = ["x"]
+        c.add_series("<s>", [1.0])
+        svg = c.render()
+        assert "a &lt; b &amp; c" in svg
+        assert "&lt;s&gt;" in svg
+
+    def test_series_length_checked(self):
+        c = self._chart()
+        with pytest.raises(ReproError):
+            c.add_series("bad", [1.0])
+
+    def test_log_scale_rejects_nonpositive(self):
+        c = LineChart("t", log_y=True)
+        c.categories = ["x"]
+        with pytest.raises(ReproError):
+            c.add_series("s", [0.0])
+
+    def test_log_scale_positions_decades(self):
+        c = LineChart("t", log_y=True)
+        c.categories = ["a", "b", "c"]
+        c.add_series("s", [10.0, 100.0, 1000.0])
+        lo, hi = c._y_range()
+        y1 = c._y_pos(10.0, lo, hi)
+        y2 = c._y_pos(100.0, lo, hi)
+        y3 = c._y_pos(1000.0, lo, hi)
+        assert math.isclose(y1 - y2, y2 - y3, rel_tol=1e-6)
+
+    def test_empty_chart_rejected(self):
+        with pytest.raises(ReproError):
+            LineChart("t").render()
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "c.svg"
+        self._chart().save(path)
+        assert path.read_text().startswith("<svg")
+
+
+class TestBarChart:
+    def test_grouped_bars(self):
+        c = BarChart("t")
+        c.categories = ["a", "b"]
+        c.add_series("s1", [1.0, 2.0])
+        c.add_series("s2", [2.0, 1.0])
+        svg = c.render()
+        assert svg.count("<rect") == 1 + 4 + 2  # bg + bars + legend swatches
+
+    def test_negative_values_draw_below_zero(self):
+        c = BarChart("t")
+        c.categories = ["a"]
+        c.add_series("s", [-1.0])
+        assert "<rect" in c.render()

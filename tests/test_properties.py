@@ -1,0 +1,110 @@
+"""Cross-cutting property and metamorphic tests.
+
+These encode relationships that must hold across modules regardless of
+parameters — the kind of invariant a refactor silently breaks.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.cache.stackdist import StackDistanceProfile
+from repro.config import MigrationConfig, SystemConfig
+from repro.core.hetero_memory import HeterogeneousMainMemory, baseline_latency
+from repro.trace.record import make_chunk
+from repro.units import KB, MB
+
+from .conftest import synthetic_trace
+
+
+def config(**kw) -> SystemConfig:
+    defaults = dict(algorithm="live", macro_page_bytes=64 * KB, swap_interval=500)
+    defaults.update(kw)
+    return SystemConfig(
+        total_bytes=64 * MB, onpkg_bytes=8 * MB, migration=MigrationConfig(**defaults)
+    )
+
+
+class TestLatencyFloors:
+    def test_every_access_pays_at_least_the_path(self):
+        """No access can beat path overhead + a row hit + translation."""
+        trace = synthetic_trace(5000)
+        cfg = config()
+        sim = HeterogeneousMainMemory(cfg)
+        sim.run(trace)
+        floor_on = cfg.latency.onpkg_overhead + cfg.onpkg_dram.hit_cycles
+        res = sim.run(
+            make_chunk(trace.addr[:100], time=trace.time[:100] + int(trace.time[-1]) + 1000)
+        )
+        assert res.average_latency >= floor_on
+
+    def test_interference_never_negative(self):
+        trace = synthetic_trace(5000)
+        res = HeterogeneousMainMemory(config()).run(trace)
+        assert min(res.epoch_latency) > 0
+
+
+class TestMetamorphic:
+    def test_time_translation_invariance(self):
+        """Shifting all timestamps by a constant changes nothing."""
+        trace = synthetic_trace(6000, hot_weight=0.85)
+        rec = trace.records.copy()
+        rec["time"] += 123_456
+        shifted = make_chunk(rec["addr"], time=rec["time"], cpu=rec["cpu"], rw=rec["rw"])
+        a = HeterogeneousMainMemory(config()).run(trace)
+        b = HeterogeneousMainMemory(config()).run(shifted)
+        assert a.total_latency == b.total_latency
+        assert a.swaps_triggered == b.swaps_triggered
+
+    def test_address_region_permutation_under_static(self):
+        """For the all-off-package baseline, relabeling which macro pages
+        are hot must not change the average latency materially (bank
+        hashing aside)."""
+        rng = np.random.default_rng(0)
+        n = 8000
+        blocks = rng.integers(0, 64 * MB // 4096, n)
+        t = np.cumsum(rng.integers(1, 80, n))
+        a = baseline_latency(config(), make_chunk(blocks * 4096, time=t), "all-offpkg")
+        shuffled = (blocks * 2654435761) % (64 * MB // 4096)
+        b = baseline_latency(config(), make_chunk(shuffled * 4096, time=t), "all-offpkg")
+        assert a.average_latency == pytest.approx(b.average_latency, rel=0.05)
+
+    def test_more_onpkg_capacity_never_hurts_static(self):
+        trace = synthetic_trace(8000)
+        lats = []
+        for onpkg in (4 * MB, 8 * MB, 16 * MB):
+            cfg = SystemConfig(
+                total_bytes=64 * MB, onpkg_bytes=onpkg,
+                migration=MigrationConfig(macro_page_bytes=64 * KB, swap_interval=500),
+            )
+            lats.append(baseline_latency(cfg, trace, "static").average_latency)
+        assert lats[0] >= lats[1] - 1.0 >= lats[2] - 2.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_stackdist_prefix_monotone(self, seed):
+        """Appending accesses never changes earlier distances."""
+        rng = np.random.default_rng(seed)
+        addr = rng.integers(0, 200, 120) * 64
+        full = StackDistanceProfile(addr).distances
+        prefix = StackDistanceProfile(addr[:60]).distances
+        np.testing.assert_array_equal(full[:60], prefix)
+
+
+class TestConservation:
+    def test_migrated_bytes_are_page_multiples(self):
+        trace = synthetic_trace(20000, hot_weight=0.9)
+        cfg = config()
+        res = HeterogeneousMainMemory(cfg).run(trace)
+        assert res.migrated_bytes % cfg.migration.macro_page_bytes == 0
+        assert res.cross_boundary_migrated_bytes <= res.migrated_bytes
+
+    def test_epoch_latency_series_aggregates_to_total(self):
+        trace = synthetic_trace(5000)
+        cfg = config(swap_interval=500)
+        res = HeterogeneousMainMemory(cfg).run(trace)
+        # equal-size epochs: the mean of epoch means is the global mean
+        assert float(np.mean(res.epoch_latency)) == pytest.approx(
+            res.average_latency, rel=1e-9
+        )

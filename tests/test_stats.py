@@ -1,0 +1,74 @@
+"""Tests for streaming accumulators and the report table."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError, SimulationError
+from repro.stats.accumulators import LatencyAccumulator, StreamingMean
+from repro.stats.report import Table, format_cycles
+
+
+class TestStreamingMean:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        m = StreamingMean()
+        all_vals = []
+        for _ in range(5):
+            chunk = rng.integers(1, 1000, 100)
+            m.add(chunk)
+            all_vals.append(chunk)
+        vals = np.concatenate(all_vals)
+        assert m.mean == pytest.approx(vals.mean())
+        assert m.min == vals.min() and m.max == vals.max()
+        assert m.count == vals.size
+
+    def test_empty(self):
+        m = StreamingMean()
+        m.add(np.array([]))
+        assert m.mean == 0.0 and m.count == 0
+
+
+class TestLatencyAccumulator:
+    def test_average_and_percentiles(self):
+        rng = np.random.default_rng(1)
+        acc = LatencyAccumulator()
+        vals = rng.integers(50, 500, 10000)
+        acc.add(vals)
+        assert acc.average == pytest.approx(vals.mean())
+        p50 = acc.percentile(50)
+        assert np.percentile(vals, 40) < p50 < np.percentile(vals, 60) * 1.1
+
+    def test_percentile_bounds(self):
+        acc = LatencyAccumulator()
+        with pytest.raises(SimulationError):
+            acc.percentile(101)
+        assert acc.percentile(50) == 0.0  # empty
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(SimulationError):
+            LatencyAccumulator(max_latency=0)
+
+
+class TestReportFormatting:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(123.4, "123.4"), (12_345.0, "12.3k"), (2_500_000.0, "2.50M")],
+    )
+    def test_format_cycles(self, value, expected):
+        assert format_cycles(value) == expected
+
+    def test_table_needs_columns(self):
+        with pytest.raises(ReproError):
+            Table("t", [])
+
+    def test_row_arity_checked(self):
+        t = Table("t", ["a"])
+        with pytest.raises(ReproError):
+            t.add_row(1, 2)
+
+    def test_render_alignment(self):
+        t = Table("t", ["name", "value"])
+        t.add_row("x", 1)
+        t.add_row("longer", 123456)
+        lines = t.render().splitlines()
+        assert len({len(line) for line in lines[2:5]}) == 1  # aligned

@@ -1,0 +1,272 @@
+"""Replay every swap case against a shadow data memory.
+
+The paper's central correctness claim (Section III-A): thanks to the
+data duplication and the P bit, **at every instant during a swap every
+macro page resolves to a machine location that actually holds its
+data**. We model data explicitly — each machine location remembers whose
+bytes it holds — execute the plan step by step, and assert the claim
+after every step, for all four Fig 8 cases plus the ghost case, under
+N-1 semantics; and before/after for the stalling N design.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.address import AddressMap
+from repro.errors import MigrationError
+from repro.migration.algorithms import (
+    CopyStep,
+    SwapCase,
+    TableUpdate,
+    build_basic_swap_steps,
+    build_swap_steps,
+    classify_case,
+)
+from repro.migration.table import EMPTY, TranslationTable
+from repro.units import KB, MB
+
+N_SLOTS = 4
+
+
+def make_table(reserve=True) -> TranslationTable:
+    amap = AddressMap(
+        total_bytes=N_SLOTS * 4 * MB,
+        onpkg_bytes=N_SLOTS * MB,
+        macro_page_bytes=1 * MB,
+        subblock_bytes=256 * KB,
+    )
+    return TranslationTable(amap, reserve_empty_slot=reserve)
+
+
+class ShadowMemory:
+    """Tracks which page's data each machine location holds."""
+
+    def __init__(self, table: TranslationTable):
+        self.data: dict[tuple[str, int], int] = {}
+        amap = table.amap
+        for page in range(amap.n_total_pages):
+            if page == amap.ghost_page:
+                continue  # Ω is reserved by the hardware driver (Section III-A)
+            on, machine = table.resolve(page)
+            loc = ("slot", machine) if on else ("mach", machine)
+            self.data[loc] = page
+
+    def copy(self, step: CopyStep) -> None:
+        assert step.src is not None and step.dst is not None, step.label
+        self.data[step.dst] = self.data[step.src]
+
+    def holds(self, loc: tuple[str, int], page: int) -> bool:
+        return self.data.get(loc) == page
+
+
+def assert_all_resolvable(table: TranslationTable, shadow: ShadowMemory, context: str):
+    for page in range(table.amap.n_total_pages):
+        if page == table.amap.ghost_page:
+            continue  # reserved
+        if page == table._fill_page:
+            # during a fill both copies are partially valid; the old
+            # (source) copy must be intact
+            assert shadow.holds(("mach", table._fill_source), page) or shadow.holds(
+                ("slot", table._filling_slot), page
+            ), f"{context}: filling page {page} lost"
+            continue
+        on, machine = table.resolve(page)
+        loc = ("slot", machine) if on else ("mach", machine)
+        assert shadow.holds(loc, page), (
+            f"{context}: page {page} resolves to {loc} which holds "
+            f"{shadow.data.get(loc)}"
+        )
+
+
+def replay(table: TranslationTable, plan, *, check_each_step=True):
+    shadow = ShadowMemory(table)
+    for i, step in enumerate(plan.steps):
+        if isinstance(step, TableUpdate):
+            step.apply(table)
+        else:
+            shadow.copy(step)
+            if step.incoming and table.filling:
+                table.end_fill()
+        if check_each_step and not plan.stall:
+            assert_all_resolvable(table, shadow, f"step {i} ({step.label})")
+    table.end_fill()
+    assert_all_resolvable(table, shadow, "after plan")
+    table.check_invariants()
+    return shadow
+
+
+def prepare_case(case: SwapCase):
+    """Drive a fresh table into the state each case needs, returning
+    (table, mru, lru)."""
+    t = make_table()
+    off_a, off_b = N_SLOTS + 1, N_SLOTS + 2  # off-package page ids
+    if case is SwapCase.A:
+        return t, off_a, 0
+    if case is SwapCase.B:
+        # make slot 1 hold an MF page first (swap off_b in via case A path)
+        replay(t, build_swap_steps(t, off_b, 1))
+        assert t.category(off_b).value == "MF"
+        return t, off_a, off_b
+    if case is SwapCase.C:
+        # page 1 must be MS: bring off_b into the space, displacing 1
+        replay(t, build_swap_steps(t, off_b, 1))
+        # now page 1 is GHOST (demoted to Ω); promote something else so 1
+        # becomes MS... simpler: build MS directly: swap off_b with slot 1
+        # made 1 the ghost. Instead drive: promote ghost 1 back (case G),
+        # demoting 0 — then swap off_b? Keep it direct:
+        return None  # constructed in the test body instead
+    raise AssertionError
+
+
+class TestCaseA:
+    def test_sequence_and_final_state(self):
+        t = make_table()
+        mru, lru = N_SLOTS + 1, 0
+        plan = build_swap_steps(t, mru, lru)
+        assert plan.case is SwapCase.A
+        replay(t, plan)
+        assert t.resolve(mru) == (True, N_SLOTS - 1)   # in the old empty slot
+        assert t.category(mru).value == "MF"
+        assert t.category(lru).value == "GHOST"        # demoted to Ω
+        assert t.empty_slot() == lru
+
+
+class TestCaseB:
+    def test_sequence_and_final_state(self):
+        t = make_table()
+        first, second = N_SLOTS + 1, N_SLOTS + 2
+        replay(t, build_swap_steps(t, first, 1))       # makes `first` MF
+        plan = build_swap_steps(t, second, first)      # LRU is now MF
+        assert plan.case is SwapCase.B
+        replay(t, plan)
+        assert t.category(second).value == "MF"
+        assert t.category(first).value == "OS"         # went home
+        assert t.empty_slot() is not None
+
+
+class TestCasesCD:
+    def _make_ms(self, t: TranslationTable) -> int:
+        """Produce an MS page: bring an OS page on-package displacing a
+        low page, then promote the ghost back so the low page becomes MS.
+
+        After case A (mru=X, lru=p): pair[e]=X, p is ghost/empty.
+        After case G on p (demoting q): p fills slot p... p<N pages pair
+        themselves. Simplest MS construction: run case A twice so that
+        the second LRU's slot gets reused by a later swap.
+        """
+        a, b = N_SLOTS + 1, N_SLOTS + 2
+        replay(t, build_swap_steps(t, a, 0))   # 0 ghost, slot 0 empty, a in slot 3
+        replay(t, build_swap_steps(t, b, 1))   # b -> slot 0 (empty), 1 ghost...
+        # after the 2nd swap: pair[0] = b with P cleared => page 0 is MS at
+        # machine b
+        assert t.category(0).value == "MS"
+        return 0
+
+    def test_case_c(self):
+        t = make_table()
+        ms = self._make_ms(t)
+        lru = 2  # still OF
+        plan = build_swap_steps(t, ms, lru)
+        assert plan.case is SwapCase.C
+        replay(t, plan)
+        assert t.resolve(ms) == (True, ms)      # MS page went home
+        assert t.category(lru).value == "GHOST"
+
+    def test_case_d(self):
+        t = make_table()
+        ms = self._make_ms(t)
+        # an MF LRU that is NOT the MRU's pair partner
+        partner = t.page_in_slot(ms)
+        mf = next(
+            int(p) for p in t.resident_pages() if p >= N_SLOTS and p != partner
+        )
+        plan = build_swap_steps(t, ms, mf)
+        assert plan.case is SwapCase.D
+        replay(t, plan)
+        assert t.resolve(ms) == (True, ms)
+        assert t.category(mf).value == "OS"     # demoted LRU went home
+
+    def test_case_d_lru_is_partner(self):
+        """Fig 8 does not enumerate LRU == MRU's pair partner: the promote
+        relocates the partner into the empty slot, and the plan then
+        demotes it home to keep the one-empty-slot invariant."""
+        t = make_table()
+        ms = self._make_ms(t)
+        partner = t.page_in_slot(ms)
+        plan = build_swap_steps(t, ms, partner)
+        assert plan.case is SwapCase.D
+        replay(t, plan)
+        assert t.resolve(ms) == (True, ms)
+        assert t.category(partner).value == "OS"   # demoted home
+        assert t.empty_slot() is not None          # invariant restored
+
+
+class TestCaseG:
+    def test_ghost_promotion(self):
+        t = make_table()
+        ghost = N_SLOTS - 1  # initial ghost page
+        plan = build_swap_steps(t, ghost, 0)
+        assert plan.case is SwapCase.G
+        replay(t, plan)
+        assert t.resolve(ghost) == (True, ghost)
+        assert t.category(0).value == "GHOST"
+
+
+class TestBasicDesign:
+    def test_case_a_exchange(self):
+        t = make_table(reserve=False)
+        mru, lru = N_SLOTS + 1, 0
+        plan = build_basic_swap_steps(t, mru, lru)
+        assert plan.stall
+        replay(t, plan, check_each_step=False)
+        assert t.resolve(mru) == (True, lru)
+        assert t.resolve(lru) == (False, mru)
+
+    def test_case_b_restores_then_swaps(self):
+        t = make_table(reserve=False)
+        a, b = N_SLOTS + 1, N_SLOTS + 2
+        replay(t, build_basic_swap_steps(t, a, 0), check_each_step=False)
+        plan = build_basic_swap_steps(t, b, a)
+        assert plan.case is SwapCase.B
+        replay(t, plan, check_each_step=False)
+        assert t.category(a).value == "OS"
+        assert t.category(b).value == "MF"
+
+    def test_n_design_uses_all_slots(self):
+        t = make_table(reserve=False)
+        assert len(t.resident_pages()) == N_SLOTS
+
+    def test_stall_plans_move_more_bytes_for_exchanges(self):
+        t = make_table(reserve=False)
+        plan = build_basic_swap_steps(t, N_SLOTS + 1, 0)
+        # a direct exchange moves both pages across the boundary (the
+        # on-chip staging copy does not cross it)
+        assert plan.cross_boundary_bytes == 2 * t.amap.macro_page_bytes
+        assert plan.total_copy_bytes == 3 * t.amap.macro_page_bytes
+
+
+class TestClassification:
+    def test_rejects_onpackage_mru(self):
+        t = make_table()
+        with pytest.raises(MigrationError):
+            classify_case(t, 0, 1)
+
+    def test_rejects_offpackage_lru(self):
+        t = make_table()
+        with pytest.raises(MigrationError):
+            classify_case(t, N_SLOTS + 1, N_SLOTS + 2)
+
+
+class TestPlanShape:
+    def test_case_a_has_three_copies(self):
+        t = make_table()
+        plan = build_swap_steps(t, N_SLOTS + 1, 0)
+        copies = [s for s in plan.steps if isinstance(s, CopyStep)]
+        assert len(copies) == 3  # MRU in, ghost out, LRU out
+        assert sum(c.incoming for c in copies) == 1
+
+    def test_cross_boundary_accounting(self):
+        t = make_table()
+        plan = build_swap_steps(t, N_SLOTS + 1, 0)
+        assert plan.cross_boundary_bytes == plan.total_copy_bytes

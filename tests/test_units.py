@@ -1,0 +1,81 @@
+"""Unit tests for repro.units."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.units import (
+    GB,
+    KB,
+    MB,
+    format_size,
+    is_power_of_two,
+    log2_exact,
+    parse_size,
+)
+
+
+class TestParseSize:
+    def test_plain_integer_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    def test_bytes_without_suffix(self):
+        assert parse_size("512") == 512
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("4KB", 4 * KB),
+            ("4K", 4 * KB),
+            ("512MB", 512 * MB),
+            ("512M", 512 * MB),
+            ("4GB", 4 * GB),
+            ("1g", 1 * GB),
+            (" 64 kb ", 64 * KB),
+            ("1.5KB", 1536),
+        ],
+    )
+    def test_suffixes(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            parse_size(-1)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            parse_size("0MB")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ConfigError):
+            parse_size("lots")
+
+
+class TestFormatSize:
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [(4 * MB, "4MB"), (1 * GB, "1GB"), (512 * KB, "512KB"), (1536, "1536B")],
+    )
+    def test_exact_suffixes(self, nbytes, expected):
+        assert format_size(nbytes) == expected
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigError):
+            format_size(0)
+
+    @given(st.integers(min_value=1, max_value=1 << 48))
+    def test_roundtrip(self, nbytes):
+        assert parse_size(format_size(nbytes)) == nbytes
+
+
+class TestPowersOfTwo:
+    @given(st.integers(min_value=0, max_value=62))
+    def test_powers_recognised(self, k):
+        assert is_power_of_two(1 << k)
+        assert log2_exact(1 << k) == k
+
+    @pytest.mark.parametrize("value", [0, -4, 3, 6, 1000])
+    def test_non_powers_rejected(self, value):
+        assert not is_power_of_two(value)
+        with pytest.raises(ConfigError):
+            log2_exact(value)
