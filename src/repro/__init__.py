@@ -29,6 +29,7 @@ from .config import (
     MigrationAlgorithm,
     MigrationConfig,
     PowerConfig,
+    ResilienceConfig,
     SystemConfig,
     paper_config,
     scaled_config,
@@ -43,7 +44,15 @@ from .core import (
     baseline_latency,
     effectiveness,
 )
-from .errors import ReproError
+from .errors import CheckpointError, FaultInjectionError, ReproError, WatchdogError
+from .resilience import (
+    DegradationEvent,
+    FaultKind,
+    FaultPlan,
+    load_checkpoint,
+    run_resumable,
+    save_checkpoint,
+)
 from .units import GB, KB, MB
 
 __version__ = "1.0.0"
@@ -54,9 +63,14 @@ __all__ = [
     "BusConfig",
     "CacheHierarchyConfig",
     "CacheLevelConfig",
+    "CheckpointError",
+    "DegradationEvent",
     "DetailedSimulator",
     "DramTiming",
     "EpochSimulator",
+    "FaultInjectionError",
+    "FaultKind",
+    "FaultPlan",
     "GB",
     "HeterogeneousMainMemory",
     "KB",
@@ -66,10 +80,15 @@ __all__ = [
     "MigrationConfig",
     "PowerConfig",
     "ReproError",
+    "ResilienceConfig",
     "SimulationResult",
     "SystemConfig",
+    "WatchdogError",
     "baseline_latency",
     "effectiveness",
+    "load_checkpoint",
     "paper_config",
+    "run_resumable",
+    "save_checkpoint",
     "scaled_config",
 ]

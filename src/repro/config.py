@@ -253,6 +253,49 @@ class PowerConfig:
 
 
 @dataclass(frozen=True)
+class ResilienceConfig:
+    """Fault-tolerance knobs for long trace campaigns (all opt-in).
+
+    The defaults disable every mechanism so the simulator behaves exactly
+    as before; campaigns that need crash recovery or fault injection turn
+    the individual features on.
+    """
+
+    #: epochs between ``table.audit()`` invariant sweeps (0 = never)
+    audit_interval: int = 0
+    #: consecutive swap failures / failed audits before the migration
+    #: engine quarantines itself and falls back to static mapping
+    max_consecutive_failures: int = 3
+    #: per-epoch total-latency budget for the watchdog (0 = no watchdog)
+    epoch_cycle_budget: int = 0
+    #: what the watchdog does on a breach: abort the run with a
+    #: :class:`~repro.errors.WatchdogError` or record a
+    #: ``DegradationEvent`` and keep going
+    watchdog_action: str = "raise"
+    #: cycles an ECC single-bit correction adds to the faulted access
+    ecc_correction_cycles: int = 20
+    #: cycles one detect-and-retry round trip costs
+    ecc_retry_cycles: int = 200
+    #: retries before a transient DRAM error is declared uncorrectable
+    max_ecc_retries: int = 2
+
+    def __post_init__(self) -> None:
+        if self.audit_interval < 0 or self.epoch_cycle_budget < 0:
+            raise ConfigError("audit_interval and epoch_cycle_budget must be >= 0")
+        if self.max_consecutive_failures <= 0:
+            raise ConfigError("max_consecutive_failures must be positive")
+        if self.watchdog_action not in ("raise", "degrade"):
+            raise ConfigError(
+                f"watchdog_action must be 'raise' or 'degrade', "
+                f"got {self.watchdog_action!r}"
+            )
+        if self.ecc_correction_cycles < 0 or self.ecc_retry_cycles < 0:
+            raise ConfigError("ECC cycle costs must be >= 0")
+        if self.max_ecc_retries < 0:
+            raise ConfigError("max_ecc_retries must be >= 0")
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Top-level configuration tying the subsystems together."""
 
@@ -265,6 +308,7 @@ class SystemConfig:
     migration: MigrationConfig = field(default_factory=MigrationConfig)
     bus: BusConfig = field(default_factory=BusConfig)
     power: PowerConfig = field(default_factory=PowerConfig)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     frequency_hz: float = 3.2e9
 
     def __post_init__(self) -> None:
@@ -282,6 +326,10 @@ class SystemConfig:
     def with_migration(self, **kwargs) -> "SystemConfig":
         """Return a copy with migration fields replaced."""
         return replace(self, migration=replace(self.migration, **kwargs))
+
+    def with_resilience(self, **kwargs) -> "SystemConfig":
+        """Return a copy with resilience fields replaced."""
+        return replace(self, resilience=replace(self.resilience, **kwargs))
 
 
 def paper_config(**migration_kwargs) -> SystemConfig:

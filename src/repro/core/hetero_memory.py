@@ -22,6 +22,7 @@ Baselines (Table IV / Fig 11 reference lines) come from
 
 from __future__ import annotations
 
+import os
 from enum import Enum
 
 from ..config import SystemConfig
@@ -50,6 +51,44 @@ class HeterogeneousMainMemory:
     def run(self, trace: TraceChunk) -> SimulationResult:
         """Simulate a trace of main-memory accesses."""
         return self.simulator.run(trace)
+
+    # ------------------------------------------------------------------
+    # resilience facade
+    # ------------------------------------------------------------------
+    def attach_faults(self, plan) -> None:
+        """Arm a seeded :class:`~repro.resilience.faults.FaultPlan`."""
+        self.simulator.attach_faults(plan)
+
+    @property
+    def degradation_events(self):
+        """Structured records of every resilience mechanism that fired."""
+        return self.simulator.degradation_events
+
+    def save_checkpoint(self, path: str | os.PathLike,
+                        result: SimulationResult, *,
+                        extra: dict | None = None) -> None:
+        """Snapshot the system mid-campaign; see
+        :func:`repro.resilience.checkpoint.save_checkpoint`."""
+        from ..resilience.checkpoint import save_checkpoint
+
+        save_checkpoint(path, self.simulator, result, extra=extra)
+
+    @classmethod
+    def resume(cls, path: str | os.PathLike) -> tuple[
+        "HeterogeneousMainMemory", SimulationResult, dict
+    ]:
+        """Reconstruct a system + partial result from a checkpoint file.
+
+        Returns ``(system, result, extra)``; feed the remaining trace
+        chunks through ``system.simulator.run_into(chunk, result)``.
+        """
+        from ..resilience.checkpoint import load_checkpoint, restore_simulator
+
+        bundle = load_checkpoint(path)
+        system = cls.__new__(cls)
+        system.config = bundle.config
+        system.simulator = restore_simulator(bundle)
+        return system, bundle.result, bundle.extra
 
     @property
     def table(self):

@@ -6,6 +6,14 @@ translation via the table's dense mirrors, region split, per-region
 DRAM service, with per-access-time overrides for the (at most one)
 in-flight migration. At each epoch boundary the migration engine
 evaluates the hottest-coldest trigger.
+
+Resilience hooks (all governed by :class:`~repro.config.ResilienceConfig`
+and off by default) run at the same boundary: seeded fault injection via
+an attached :class:`~repro.resilience.faults.FaultPlan`, ECC handling of
+transient DRAM errors, periodic translation-table audits with in-place
+repair, and a per-epoch cycle-budget watchdog. The complete simulator
+state round-trips through :meth:`EpochSimulator.state_dict`, which is
+what the checkpoint/resume machinery serialises.
 """
 
 from __future__ import annotations
@@ -15,9 +23,18 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import SystemConfig
-from ..errors import SimulationError
+from ..errors import SimulationError, TranslationTableError, WatchdogError
 from ..memctrl.heterogeneous import HeterogeneousController
 from ..migration.engine import MigrationEngine
+from ..resilience.degradation import (
+    AUDIT_FAILED,
+    DRAM_CORRECTED,
+    DRAM_UNCORRECTABLE,
+    TABLE_REPAIRED,
+    WATCHDOG_BREACH,
+    DegradationEvent,
+)
+from ..resilience.faults import EccModel, FaultKind, FaultPlan
 from ..trace.record import TraceChunk
 from ..units import log2_exact
 
@@ -42,6 +59,14 @@ class SimulationResult:
     offpkg_row_hit_rate: float = 0.0
     #: wall-clock span of the simulated trace (for background power)
     duration_cycles: int = 0
+    #: resilience bookkeeping (empty/zero unless faults were injected or
+    #: a resilience mechanism fired)
+    degradation_events: list[DegradationEvent] = field(default_factory=list)
+    quarantined: bool = False
+    faults_injected: int = 0
+    dram_errors_corrected: int = 0
+    dram_errors_retried: int = 0
+    dram_errors_uncorrectable: int = 0
 
     @property
     def average_latency(self) -> float:
@@ -77,18 +102,41 @@ class EpochSimulator:
                  detailed_dram: bool = False):
         self.config = config
         self.migrate = migrate
+        self.detailed_dram = detailed_dram
         self.controller = HeterogeneousController(
             config, detailed=detailed_dram, translation_overhead=migrate
         )
         self.engine = MigrationEngine(
-            config.address_map(), config.migration, config.bus
+            config.address_map(), config.migration, config.bus,
+            resilience=config.resilience,
         )
         self._sb_shift = log2_exact(config.migration.subblock_bytes)
         self._last_time = -(1 << 62)
+        self._epoch_index = 0
+        self._fault_plan: FaultPlan | None = None
+        self._ecc = EccModel(config.resilience)
+        self._events: list[DegradationEvent] = []
+        self._faults_injected = 0
+
+    def attach_faults(self, plan: FaultPlan) -> None:
+        """Arm a seeded fault plan; epochs consult it at their boundary.
+
+        The plan becomes part of the simulator's checkpointed state, so
+        a resumed run keeps injecting the remaining scheduled faults.
+        """
+        self._fault_plan = plan
 
     @property
     def table(self):
         return self.engine.table
+
+    @property
+    def degradation_events(self) -> list[DegradationEvent]:
+        """Every resilience event so far (engine + simulator), time-ordered."""
+        return sorted(
+            self.engine.degradation_events + self._events,
+            key=lambda e: (e.time, e.epoch),
+        )
 
     def run(self, trace: TraceChunk) -> SimulationResult:
         """Simulate a whole trace; may be called repeatedly with
@@ -99,13 +147,30 @@ class EpochSimulator:
 
     def run_into(self, trace: TraceChunk, result: SimulationResult) -> None:
         interval = self.config.migration.swap_interval
+        resilience = self.config.resilience
         amap = self.controller.amap
         n = len(trace)
         if n and int(trace.time[0]) < self._last_time:
             raise SimulationError("trace chunks must be fed in time order")
+        # duration must not depend on where the trace was chunked: span
+        # from the previous chunk's end (covering the inter-chunk gap)
+        duration_ref = self._last_time if self._epoch_index else (
+            int(trace.time[0]) if n else 0
+        )
+        if n:
+            # reject hostile traces with a clear AddressError up front
+            # instead of a table-internal failure mid-translation
+            amap.check_addresses(trace.addr)
         for start in range(0, n, interval):
             epoch = trace[start : start + interval]
             t0 = int(epoch.time[0])
+            epoch_index = self._epoch_index
+            self._epoch_index += 1
+
+            pending_dram_errors = 0
+            if self._fault_plan is not None:
+                pending_dram_errors = self._apply_faults(epoch_index, t0, result)
+
             active = self.engine.active
             if active is not None and active.end <= t0:
                 active = None  # finished before this epoch: mirrors suffice
@@ -113,36 +178,177 @@ class EpochSimulator:
             latency, on, machine = self.controller.service_chunk(
                 epoch, self.engine.table, active
             )
+            now = int(epoch.time[-1]) + 1
+            epoch_cycles = int(latency.sum())
+            if pending_dram_errors:
+                epoch_cycles += self._run_ecc(
+                    pending_dram_errors, epoch_index, now, result
+                )
+
+            if resilience.epoch_cycle_budget and (
+                epoch_cycles > resilience.epoch_cycle_budget
+            ):
+                detail = (
+                    f"epoch {epoch_index} (t=[{t0}, {now})) spent "
+                    f"{epoch_cycles} cycles, budget "
+                    f"{resilience.epoch_cycle_budget}"
+                )
+                if resilience.watchdog_action == "raise":
+                    raise WatchdogError(detail)
+                self._events.append(
+                    DegradationEvent(
+                        time=now, epoch=epoch_index, kind=WATCHDOG_BREACH,
+                        detail=detail, recovered=True,
+                    )
+                )
+
             result.n_accesses += len(epoch)
-            result.total_latency += int(latency.sum())
+            result.total_latency += epoch_cycles
             result.onpkg_accesses += int(on.sum())
             result.offpkg_accesses += len(epoch) - int(on.sum())
             result.epoch_latency.append(float(latency.mean()))
 
+            if resilience.audit_interval and (
+                (epoch_index + 1) % resilience.audit_interval == 0
+            ):
+                self._audit(epoch_index, now)
+
             if self.migrate:
-                pages = amap.page_of(epoch.addr)
-                times = epoch.time
-                on_idx = np.flatnonzero(on)
-                off_idx = np.flatnonzero(~on)
-                # on-package observations are per *slot*; slots == machine page
-                self.engine.observe_epoch(
-                    slots=machine[on_idx],
-                    slot_times=times[on_idx],
-                    offpkg_pages=pages[off_idx],
-                    off_times=times[off_idx],
-                    off_subblocks=(amap.offset_of(epoch.addr[off_idx]) >> self._sb_shift),
-                )
-                now = int(epoch.time[-1]) + 1
+                if not self.engine.quarantined:
+                    pages = amap.page_of(epoch.addr)
+                    times = epoch.time
+                    on_idx = np.flatnonzero(on)
+                    off_idx = np.flatnonzero(~on)
+                    # on-package observations are per *slot*; slots == machine page
+                    self.engine.observe_epoch(
+                        slots=machine[on_idx],
+                        slot_times=times[on_idx],
+                        offpkg_pages=pages[off_idx],
+                        off_times=times[off_idx],
+                        off_subblocks=(
+                            amap.offset_of(epoch.addr[off_idx]) >> self._sb_shift
+                        ),
+                    )
                 decision = self.engine.maybe_swap(now)
                 if decision.triggered:
                     result.swaps_triggered += 1
             self._last_time = int(epoch.time[-1])
 
         if n:
-            result.duration_cycles += int(trace.time[-1] - trace.time[0])
+            result.duration_cycles += int(trace.time[-1]) - duration_ref
         result.swaps_suppressed_busy = self.engine.swaps_suppressed_busy
         result.swaps_suppressed_cold = self.engine.swaps_suppressed_cold
         result.migrated_bytes = self.engine.migrated_bytes
         result.cross_boundary_migrated_bytes = self.engine.cross_boundary_bytes
         result.onpkg_row_hit_rate = self.controller.onpkg_model.device.row_hit_rate
         result.offpkg_row_hit_rate = self.controller.offpkg_model.device.row_hit_rate
+        result.degradation_events = self.degradation_events
+        result.quarantined = self.engine.quarantined
+        result.faults_injected = self._faults_injected
+
+    # ------------------------------------------------------------------
+    # resilience hooks
+    # ------------------------------------------------------------------
+    def _apply_faults(
+        self, epoch_index: int, now: int, result: SimulationResult
+    ) -> int:
+        """Perturb the live system per the fault plan; returns the number
+        of transient DRAM errors to charge to this epoch."""
+        table = self.engine.table
+        dram_errors = 0
+        for ev in self._fault_plan.events_for_epoch(epoch_index):
+            self._faults_injected += 1
+            if ev.kind is FaultKind.ABORT_SWAP:
+                self.engine.inject_abort(ev.param)
+            elif ev.kind is FaultKind.STUCK_P_BIT:
+                table.set_pending(ev.param % table.n_slots, True)
+            elif ev.kind is FaultKind.STUCK_F_BIT:
+                # raw SEU behind the API: no fill is actually in progress
+                table.f_bit[ev.param % table.n_slots] = True
+            elif ev.kind is FaultKind.BITMAP_CORRUPTION:
+                table.fill_bitmap[ev.param % table.fill_bitmap.shape[0]] = True
+            elif ev.kind is FaultKind.DRAM_TRANSIENT:
+                dram_errors += max(1, ev.param)
+        return dram_errors
+
+    def _run_ecc(
+        self, n_errors: int, epoch_index: int, now: int,
+        result: SimulationResult,
+    ) -> int:
+        """Push this epoch's transient DRAM errors through the ECC model;
+        returns the extra cycles they cost."""
+        rng = self._fault_plan.epoch_rng(epoch_index)
+        outcome = self._ecc.run(n_errors, rng)
+        result.dram_errors_corrected += outcome.corrected
+        result.dram_errors_retried += outcome.retried
+        result.dram_errors_uncorrectable += outcome.uncorrectable
+        recovered = outcome.uncorrectable == 0
+        self._events.append(
+            DegradationEvent(
+                time=now, epoch=epoch_index,
+                kind=DRAM_CORRECTED if recovered else DRAM_UNCORRECTABLE,
+                detail=(
+                    f"{n_errors} transient DRAM errors: {outcome.corrected} "
+                    f"corrected, {outcome.retried} recovered by retry, "
+                    f"{outcome.uncorrectable} uncorrectable "
+                    f"(+{outcome.extra_cycles} cycles)"
+                ),
+                recovered=recovered,
+            )
+        )
+        return outcome.extra_cycles
+
+    def _audit(self, epoch_index: int, now: int) -> None:
+        """Periodic invariant sweep: detect corruption, repair in place,
+        quarantine migration if the table cannot be made consistent."""
+        table = self.engine.table
+        try:
+            table.audit()
+            return
+        except TranslationTableError as exc:
+            failure = str(exc)
+        self._events.append(
+            DegradationEvent(
+                time=now, epoch=epoch_index, kind=AUDIT_FAILED,
+                detail=failure, recovered=True,
+            )
+        )
+        try:
+            fixes = table.repair()
+            self._events.append(
+                DegradationEvent(
+                    time=now, epoch=epoch_index, kind=TABLE_REPAIRED,
+                    detail="; ".join(fixes) if fixes else "no-op repair",
+                    recovered=True,
+                )
+            )
+        except TranslationTableError as exc:
+            # structurally unrepairable: fall back to the static mapping
+            self.engine.quarantine(now, f"unrepairable table: {exc}")
+            return
+        self.engine.note_audit_failure(now, failure)
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Complete simulator state; restoring it into a fresh simulator
+        built from the same config continues the run bit-identically."""
+        return {
+            "last_time": self._last_time,
+            "epoch_index": self._epoch_index,
+            "faults_injected": self._faults_injected,
+            "fault_plan": self._fault_plan,
+            "events": list(self._events),
+            "engine": self.engine.state_dict(),
+            "controller": self.controller.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._last_time = state["last_time"]
+        self._epoch_index = state["epoch_index"]
+        self._faults_injected = state["faults_injected"]
+        self._fault_plan = state["fault_plan"]
+        self._events = list(state["events"])
+        self.engine.load_state_dict(state["engine"])
+        self.controller.load_state_dict(state["controller"])

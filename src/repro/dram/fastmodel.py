@@ -40,6 +40,23 @@ class FastDevice:
         self.row_hits = 0
         self.row_conflicts = 0
 
+    def state_dict(self) -> dict:
+        """Persistent per-queue state (for checkpoint/resume)."""
+        return {
+            "open_row": self._open_row.copy(),
+            "ready": self._ready.copy(),
+            "row_hits": self.row_hits,
+            "row_conflicts": self.row_conflicts,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if state["open_row"].shape[0] != self._open_row.shape[0]:
+            raise SimulationError("device snapshot has a different queue count")
+        self._open_row = state["open_row"].copy()
+        self._ready = state["ready"].copy()
+        self.row_hits = state["row_hits"]
+        self.row_conflicts = state["row_conflicts"]
+
     def service(
         self,
         addr: np.ndarray,

@@ -88,6 +88,15 @@ class EventDrivenDevice:
         self.row_hits = 0
         self.row_conflicts = 0
 
+    def state_dict(self) -> dict:
+        # banks are rebuilt per service() call, so the hit counters are
+        # the only state that survives between chunks
+        return {"row_hits": self.row_hits, "row_conflicts": self.row_conflicts}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.row_hits = state["row_hits"]
+        self.row_conflicts = state["row_conflicts"]
+
     def service(
         self, addr: np.ndarray, arrivals: np.ndarray,
         writes: np.ndarray | None = None,

@@ -37,3 +37,31 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """Unknown workload name or invalid workload parameters."""
+
+
+class FaultInjectionError(ReproError):
+    """A deliberately injected fault fired (aborted swap, flipped bit, ...).
+
+    Raised only by the resilience subsystem's fault hooks; production code
+    paths never raise it spontaneously. The migration engine converts it
+    into a :class:`MigrationError` after rolling the table back, so a
+    campaign sees structured degradation instead of a torn state.
+    """
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is missing, corrupt, or from an unknown version.
+
+    Covers bad magic, unsupported format versions, payload digest
+    mismatches (bit rot / truncation) and attempts to restore state into
+    a simulator built from an incompatible configuration.
+    """
+
+
+class WatchdogError(SimulationError):
+    """An epoch exceeded its configured cycle budget (runaway epoch).
+
+    The per-epoch watchdog converts silently diverging simulations —
+    e.g. a queue backlog growing without bound under a hostile trace —
+    into a diagnosable error naming the epoch and the budget it blew.
+    """

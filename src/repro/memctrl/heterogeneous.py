@@ -52,6 +52,27 @@ class HeterogeneousController:
         self.offpkg_accesses = 0
 
     # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "accesses": self.accesses,
+            "total_latency": self.total_latency,
+            "onpkg_accesses": self.onpkg_accesses,
+            "offpkg_accesses": self.offpkg_accesses,
+            "onpkg_device": self.onpkg_model.device.state_dict(),
+            "offpkg_device": self.offpkg_model.device.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.accesses = state["accesses"]
+        self.total_latency = state["total_latency"]
+        self.onpkg_accesses = state["onpkg_accesses"]
+        self.offpkg_accesses = state["offpkg_accesses"]
+        self.onpkg_model.device.load_state_dict(state["onpkg_device"])
+        self.offpkg_model.device.load_state_dict(state["offpkg_device"])
+
+    # ------------------------------------------------------------------
     def resolve_chunk(
         self,
         chunk: TraceChunk,

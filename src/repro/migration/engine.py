@@ -30,8 +30,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..address import AddressMap
-from ..config import BusConfig, MigrationConfig, MigrationAlgorithm
-from ..errors import MigrationError
+from ..config import BusConfig, MigrationConfig, MigrationAlgorithm, ResilienceConfig
+from ..errors import FaultInjectionError, MigrationError, TranslationTableError
+from ..resilience.degradation import (
+    MIGRATION_QUARANTINED,
+    SWAP_FAILED,
+    DegradationEvent,
+)
 from .algorithms import (
     CopyStep,
     SwapPlan,
@@ -105,10 +110,13 @@ class MigrationEngine:
         amap: AddressMap,
         config: MigrationConfig,
         bus: BusConfig | None = None,
+        *,
+        resilience: ResilienceConfig | None = None,
     ):
         self.amap = amap
         self.config = config
         self.bus = bus or BusConfig()
+        self.resilience = resilience or ResilienceConfig()
         basic = config.algorithm == MigrationAlgorithm.N
         self.table = TranslationTable(amap, reserve_empty_slot=not basic)
         self.monitor = EpochMonitor(amap.n_onpkg_pages)
@@ -116,8 +124,15 @@ class MigrationEngine:
         self.swaps_triggered = 0
         self.swaps_suppressed_busy = 0
         self.swaps_suppressed_cold = 0
+        self.swaps_failed = 0
         self.migrated_bytes = 0
         self.cross_boundary_bytes = 0
+        # graceful-degradation state
+        self.quarantined = False
+        self.consecutive_failures = 0
+        self.degradation_events: list[DegradationEvent] = []
+        self.epochs_observed = 0
+        self._abort_at_step: int | None = None
 
     # ------------------------------------------------------------------
     def observe_epoch(
@@ -142,7 +157,81 @@ class MigrationEngine:
             self._last_subblock = {}
 
     def maybe_swap(self, now: int) -> SwapDecision:
-        """Epoch-boundary evaluation: trigger a hottest-coldest swap?"""
+        """Epoch-boundary evaluation: trigger a hottest-coldest swap?
+
+        Failures (a torn plan application, an injected abort) are
+        contained here: the table rolls back to its pre-swap state, the
+        failure is recorded as a :class:`DegradationEvent`, and after
+        ``resilience.max_consecutive_failures`` of them in a row the
+        engine quarantines itself (static-mapping degraded mode).
+        """
+        self.epochs_observed += 1
+        if self.quarantined:
+            self.monitor.new_epoch()
+            return SwapDecision(False, "migration quarantined (degraded mode)")
+        try:
+            decision = self._evaluate_swap(now)
+        except MigrationError as exc:
+            self.swaps_failed += 1
+            self.monitor.new_epoch()
+            self._note_failure(now, f"swap failed: {exc}")
+            return SwapDecision(False, f"swap failed: {exc}")
+        if decision.triggered:
+            self.consecutive_failures = 0
+        return decision
+
+    def note_audit_failure(self, now: int, detail: str) -> None:
+        """An external invariant audit failed; counts toward quarantine.
+
+        The auditor records its own event, so this only advances the
+        consecutive-failure counter.
+        """
+        self._note_failure(now, detail, record=False)
+
+    def _note_failure(self, now: int, detail: str, *, record: bool = True) -> None:
+        self.consecutive_failures += 1
+        if record:
+            self.degradation_events.append(
+                DegradationEvent(
+                    time=now, epoch=self.epochs_observed, kind=SWAP_FAILED,
+                    detail=detail, recovered=True,
+                )
+            )
+        if self.consecutive_failures >= self.resilience.max_consecutive_failures:
+            self.quarantine(now, f"{self.consecutive_failures} consecutive failures")
+
+    def quarantine(self, now: int, reason: str) -> None:
+        """Stop migrating: roll back to the static mapping, keep serving.
+
+        The table returns to the boot-time identity mapping (every page
+        resolvable at its home location) and the engine answers every
+        future epoch with "no swap". Demand accesses keep flowing — the
+        system degrades to Section II's static mapping instead of dying.
+        """
+        if self.quarantined:
+            return
+        displaced = self.table.reset_identity()
+        restore_bytes = displaced * self.amap.macro_page_bytes
+        self.active = None
+        self._abort_at_step = None
+        self.quarantined = True
+        self.degradation_events.append(
+            DegradationEvent(
+                time=now, epoch=self.epochs_observed, kind=MIGRATION_QUARANTINED,
+                detail=(
+                    f"{reason}; restored {displaced} displaced pages "
+                    f"({restore_bytes} bytes) to the static mapping"
+                ),
+                recovered=False,
+            )
+        )
+
+    def inject_abort(self, at_copy_step: int) -> None:
+        """Arm a one-shot fault: the next scheduled swap aborts at the
+        given copy step (modulo the plan's copy count)."""
+        self._abort_at_step = int(at_copy_step)
+
+    def _evaluate_swap(self, now: int) -> SwapDecision:
         if self.active is not None and self.active.in_flight(now):
             self.swaps_suppressed_busy += 1
             self.monitor.new_epoch()
@@ -214,6 +303,16 @@ class MigrationEngine:
             plan = build_swap_steps(self.table, mru, lru)
         live = cfg.algorithm == MigrationAlgorithm.LIVE
 
+        # an armed abort fires at a chosen copy step (one-shot); the
+        # snapshot makes plan application transactional, so a torn swap
+        # rolls back instead of leaving a half-written table
+        abort_at: int | None = None
+        if self._abort_at_step is not None:
+            n_copies = sum(1 for s in plan.steps if isinstance(s, CopyStep))
+            abort_at = self._abort_at_step % max(1, n_copies)
+            self._abort_at_step = None
+        snapshot = self.table.state_dict()
+
         affected = self._affected_pages(plan)
         # walk the plan, applying updates eagerly and recording when each
         # affected page's resolution changes; entry 0 is the pre-swap state
@@ -225,38 +324,49 @@ class MigrationEngine:
         t = now
         fill: FillInfo | None = None
         incoming_end = None
-        for step in plan.steps:
-            if isinstance(step, CopyStep):
-                duration = self._copy_cycles(step)
-                if step.incoming:
-                    n_sb = self.amap.subblocks_per_page
-                    fill = FillInfo(
-                        page=plan.mru,
-                        slot=step.dest_slot,
-                        start=t,
-                        end=t + duration,
-                        subblock_cycles=max(1, duration // n_sb),
-                        n_subblocks=n_sb,
-                        first_subblock=(
-                            first_subblock if cfg.critical_block_first else 0
-                        ),
-                        live=live,
-                        old_onpkg=before[plan.mru][0],
-                        old_machine=before[plan.mru][1],
-                    )
-                    incoming_end = t + duration
-                t += duration
-                # a completed incoming copy clears the F bit
-                if step.incoming and self.table.filling:
-                    self.table.end_fill()
+        copy_index = 0
+        try:
+            for step in plan.steps:
+                if isinstance(step, CopyStep):
+                    if abort_at is not None and copy_index == abort_at:
+                        raise FaultInjectionError(
+                            f"swap {plan.case.value} aborted at copy step "
+                            f"{copy_index} ({step.label})"
+                        )
+                    copy_index += 1
+                    duration = self._copy_cycles(step)
+                    if step.incoming:
+                        n_sb = self.amap.subblocks_per_page
+                        fill = FillInfo(
+                            page=plan.mru,
+                            slot=step.dest_slot,
+                            start=t,
+                            end=t + duration,
+                            subblock_cycles=max(1, duration // n_sb),
+                            n_subblocks=n_sb,
+                            first_subblock=(
+                                first_subblock if cfg.critical_block_first else 0
+                            ),
+                            live=live,
+                            old_onpkg=before[plan.mru][0],
+                            old_machine=before[plan.mru][1],
+                        )
+                        incoming_end = t + duration
+                    t += duration
+                    # a completed incoming copy clears the F bit
+                    if step.incoming and self.table.filling:
+                        self.table.end_fill()
+                        self._record_changes(timelines, before, t)
+                else:
+                    if cfg.os_assisted:
+                        # the OS periodic routine performs the table update: a
+                        # user/kernel round trip before the new mapping is live
+                        t += cfg.os_update_cycles
+                    step.apply(self.table)
                     self._record_changes(timelines, before, t)
-            else:
-                if cfg.os_assisted:
-                    # the OS periodic routine performs the table update: a
-                    # user/kernel round trip before the new mapping is live
-                    t += cfg.os_update_cycles
-                step.apply(self.table)
-                self._record_changes(timelines, before, t)
+        except (FaultInjectionError, TranslationTableError) as exc:
+            self.table.load_state_dict(snapshot)
+            raise MigrationError(str(exc)) from exc
 
         if plan.stall:
             # N design: the table is updated only once data finished moving,
@@ -308,3 +418,43 @@ class MigrationEngine:
     @property
     def busy_until(self) -> int:
         return self.active.end if self.active is not None else 0
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Complete mutable engine state (table, monitor, in-flight swap)."""
+        return {
+            "table": self.table.state_dict(),
+            "monitor": self.monitor.state_dict(),
+            "active": self.active,
+            "swaps_triggered": self.swaps_triggered,
+            "swaps_suppressed_busy": self.swaps_suppressed_busy,
+            "swaps_suppressed_cold": self.swaps_suppressed_cold,
+            "swaps_failed": self.swaps_failed,
+            "migrated_bytes": self.migrated_bytes,
+            "cross_boundary_bytes": self.cross_boundary_bytes,
+            "quarantined": self.quarantined,
+            "consecutive_failures": self.consecutive_failures,
+            "degradation_events": list(self.degradation_events),
+            "epochs_observed": self.epochs_observed,
+            "abort_at_step": self._abort_at_step,
+            "last_subblock": dict(getattr(self, "_last_subblock", {})),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.table.load_state_dict(state["table"])
+        self.monitor.load_state_dict(state["monitor"])
+        self.active = state["active"]
+        self.swaps_triggered = state["swaps_triggered"]
+        self.swaps_suppressed_busy = state["swaps_suppressed_busy"]
+        self.swaps_suppressed_cold = state["swaps_suppressed_cold"]
+        self.swaps_failed = state["swaps_failed"]
+        self.migrated_bytes = state["migrated_bytes"]
+        self.cross_boundary_bytes = state["cross_boundary_bytes"]
+        self.quarantined = state["quarantined"]
+        self.consecutive_failures = state["consecutive_failures"]
+        self.degradation_events = list(state["degradation_events"])
+        self.epochs_observed = state["epochs_observed"]
+        self._abort_at_step = state["abort_at_step"]
+        self._last_subblock = dict(state["last_subblock"])

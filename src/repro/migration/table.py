@@ -56,6 +56,7 @@ class TranslationTable:
         self.amap = amap
         n = amap.n_onpkg_pages
         self.n_slots = n
+        self._reserve_empty_slot = reserve_empty_slot
         #: right column: page stored in each slot (EMPTY for the free slot)
         self.pair = np.arange(n, dtype=np.int64)
         self.p_bit = np.zeros(n, dtype=bool)
@@ -274,6 +275,166 @@ class TranslationTable:
     def _check_slot(self, slot: int) -> None:
         if not 0 <= slot < self.n_slots:
             raise TranslationTableError(f"slot {slot} out of range [0, {self.n_slots})")
+
+    # ------------------------------------------------------------------
+    # snapshot / restore / recovery (resilience subsystem)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Complete mutable state as plain arrays/values (copyable)."""
+        return {
+            "pair": self.pair.copy(),
+            "p_bit": self.p_bit.copy(),
+            "f_bit": self.f_bit.copy(),
+            "fill_bitmap": self.fill_bitmap.copy(),
+            "filling_slot": self._filling_slot,
+            "fill_page": self._fill_page,
+            "fill_source": self._fill_source,
+            "slot_of": dict(self._slot_of),
+            "machine_of": self.machine_of.copy(),
+            "onpkg": self.onpkg.copy(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (same geometry assumed)."""
+        if state["pair"].shape[0] != self.n_slots:
+            raise TranslationTableError(
+                f"snapshot has {state['pair'].shape[0]} slots, table has "
+                f"{self.n_slots}"
+            )
+        self.pair = state["pair"].copy()
+        self.p_bit = state["p_bit"].copy()
+        self.f_bit = state["f_bit"].copy()
+        self.fill_bitmap = state["fill_bitmap"].copy()
+        self._filling_slot = state["filling_slot"]
+        self._fill_page = state["fill_page"]
+        self._fill_source = state["fill_source"]
+        self._slot_of = dict(state["slot_of"])
+        self.machine_of = state["machine_of"].copy()
+        self.onpkg = state["onpkg"].copy()
+
+    def reset_identity(self) -> int:
+        """Roll back to the boot-time identity mapping (quarantine path).
+
+        Conceptually the migration controller quiesces, copies every
+        displaced page home, and clears all swap state, leaving the
+        static mapping of Section II. Returns how many macro pages were
+        away from their home location (for recovery-cost accounting).
+        """
+        n = self.n_slots
+        home = np.arange(n, dtype=np.int64)
+        displaced = int((self.pair != home).sum())
+        self.pair = home.copy()
+        self.p_bit[:] = False
+        self.f_bit[:] = False
+        self.fill_bitmap[:] = False
+        self._filling_slot = None
+        self._fill_page = None
+        self._fill_source = None
+        self._slot_of = {p: p for p in range(n)}
+        total = self.amap.n_total_pages
+        self.machine_of = np.arange(total, dtype=np.int64)
+        self.onpkg = np.zeros(total, dtype=bool)
+        self.onpkg[:n] = True
+        if self._reserve_empty_slot:
+            self._set_empty(n - 1)
+        return displaced
+
+    def audit(self) -> None:
+        """Strict between-epoch consistency sweep (resilience audits).
+
+        On top of :meth:`check_invariants`, require that no swap residue
+        is left between epochs: the engine applies a plan's table updates
+        atomically at schedule time, so at every epoch boundary P bits,
+        F bits and the fill bitmap must be quiescent. A violation means
+        the state was corrupted behind the API (or a swap was torn by a
+        fault) and the caller should :meth:`repair`.
+        """
+        self.check_invariants()
+        if self._filling_slot is None:
+            if bool(self.f_bit.any()):
+                raise TranslationTableError(
+                    f"stray F bit on slots {np.flatnonzero(self.f_bit).tolist()} "
+                    "with no fill in progress"
+                )
+            if bool(self.fill_bitmap.any()):
+                raise TranslationTableError("stray fill bitmap with no fill in progress")
+        else:
+            expected = np.zeros(self.n_slots, dtype=bool)
+            expected[self._filling_slot] = True
+            if not np.array_equal(self.f_bit, expected):
+                raise TranslationTableError(
+                    f"F bits {np.flatnonzero(self.f_bit).tolist()} do not match "
+                    f"the filling slot {self._filling_slot}"
+                )
+        if bool(self.p_bit.any()):
+            raise TranslationTableError(
+                f"stray P bit on slots {np.flatnonzero(self.p_bit).tolist()} "
+                "between epochs"
+            )
+        # full mirror check (check_invariants only spot-checks)
+        for slot in range(self.n_slots):
+            page = int(self.pair[slot])
+            if page == EMPTY or page == self._fill_page:
+                continue
+            if not bool(self.onpkg[page]) or int(self.machine_of[page]) != slot:
+                raise TranslationTableError(
+                    f"dense mirror disagrees with row {slot} (page {page})"
+                )
+
+    def repair(self) -> list[str]:
+        """Clear recoverable corruption; returns a description of each fix.
+
+        Handles flipped P/F bits, bitmap residue and stale dense mirrors
+        — the single-event-upset class of faults. Structural damage the
+        pairing invariant cannot absorb (duplicate right-column entries)
+        is not repairable in place; callers fall back to
+        :meth:`reset_identity`.
+        """
+        fixes: list[str] = []
+        # rebuild the CAM from the right column (the authoritative state)
+        rebuilt: dict[int, int] = {}
+        for slot in range(self.n_slots):
+            page = int(self.pair[slot])
+            if page == EMPTY:
+                continue
+            if page in rebuilt:
+                raise TranslationTableError(
+                    f"unrepairable: page {page} in rows {rebuilt[page]} and {slot}"
+                )
+            rebuilt[page] = slot
+        if rebuilt != self._slot_of:
+            self._slot_of = rebuilt
+            fixes.append("rebuilt CAM from right column")
+        if self._filling_slot is None:
+            if bool(self.f_bit.any()):
+                fixes.append(
+                    f"cleared stray F bits {np.flatnonzero(self.f_bit).tolist()}"
+                )
+                self.f_bit[:] = False
+            if bool(self.fill_bitmap.any()):
+                fixes.append("cleared stray fill bitmap")
+                self.fill_bitmap[:] = False
+        if bool(self.p_bit.any()):
+            fixes.append(f"cleared stray P bits {np.flatnonzero(self.p_bit).tolist()}")
+            self.p_bit[:] = False
+        self._rebuild_mirrors()
+        self.check_invariants()
+        return fixes
+
+    def _rebuild_mirrors(self) -> None:
+        """Recompute the dense mirrors from the table proper."""
+        n = self.n_slots
+        total = self.amap.n_total_pages
+        self.machine_of = np.arange(total, dtype=np.int64)
+        self.onpkg = np.zeros(total, dtype=bool)
+        self.onpkg[:n] = True
+        for slot in range(n):
+            self._sync_page(slot)
+            page = int(self.pair[slot])
+            if page != EMPTY and page != slot:
+                self._sync_page(page)
+        if self._fill_page is not None:
+            self._sync_page(self._fill_page)
 
     def check_invariants(self) -> None:
         """Assert the structural invariants; used by tests and the engine.

@@ -1,0 +1,79 @@
+"""Resilience subsystem: fault injection, checkpoint/restore, degradation.
+
+Four pillars (ISSUE: robustness):
+
+* :mod:`.faults` — deterministic seeded fault injection (migration
+  aborts, stuck table bits, bitmap corruption, transient DRAM errors
+  with an ECC detect/correct/retry model, trace-file corruption
+  helpers).
+* :mod:`.checkpoint` — versioned, digest-verified checkpoint/restore of
+  a whole campaign, plus the :func:`~.checkpoint.run_resumable` driver.
+* :mod:`.degradation` — structured :class:`~.degradation.DegradationEvent`
+  records emitted whenever a resilience mechanism fires (the engine's
+  quarantine/static-mapping fallback lives in
+  :mod:`repro.migration.engine`).
+* invariant auditing / watchdog — wired into
+  :class:`repro.core.simulator.EpochSimulator` and
+  :meth:`repro.migration.table.TranslationTable.audit`, configured by
+  :class:`repro.config.ResilienceConfig`.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+    CheckpointBundle,
+    load_checkpoint,
+    restore_simulator,
+    run_resumable,
+    save_checkpoint,
+)
+from .degradation import (
+    AUDIT_FAILED,
+    DRAM_CORRECTED,
+    DRAM_RETRIED,
+    DRAM_UNCORRECTABLE,
+    MIGRATION_QUARANTINED,
+    SWAP_FAILED,
+    TABLE_REPAIRED,
+    TRACE_SALVAGED,
+    WATCHDOG_BREACH,
+    DegradationEvent,
+    summarize_events,
+)
+from .faults import (
+    EccModel,
+    EccOutcome,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    corrupt_trace_file,
+    truncate_trace_file,
+)
+
+__all__ = [
+    "AUDIT_FAILED",
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "CheckpointBundle",
+    "DegradationEvent",
+    "DRAM_CORRECTED",
+    "DRAM_RETRIED",
+    "DRAM_UNCORRECTABLE",
+    "EccModel",
+    "EccOutcome",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "MIGRATION_QUARANTINED",
+    "SWAP_FAILED",
+    "TABLE_REPAIRED",
+    "TRACE_SALVAGED",
+    "WATCHDOG_BREACH",
+    "corrupt_trace_file",
+    "load_checkpoint",
+    "restore_simulator",
+    "run_resumable",
+    "save_checkpoint",
+    "summarize_events",
+    "truncate_trace_file",
+]

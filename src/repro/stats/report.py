@@ -58,3 +58,30 @@ class Table:
 
     def print(self) -> None:  # noqa: A003 - deliberate, print-like
         print("\n" + self.render() + "\n")
+
+
+def resilience_table(result) -> Table:
+    """Summarise a run's resilience telemetry as a :class:`Table`.
+
+    Takes a :class:`~repro.core.simulator.SimulationResult`; one row per
+    degradation-event kind plus the fault/ECC counters, so fault-campaign
+    logs read the same way the paper tables do.
+    """
+    from ..resilience.degradation import summarize_events
+
+    table = Table(
+        "Resilience summary",
+        ["metric", "count"],
+    )
+    table.add_row("faults injected", result.faults_injected)
+    table.add_row("dram errors corrected", result.dram_errors_corrected)
+    table.add_row("dram errors retried", result.dram_errors_retried)
+    table.add_row("dram errors uncorrectable", result.dram_errors_uncorrectable)
+    for kind, count in sorted(summarize_events(result.degradation_events).items()):
+        table.add_row(f"event: {kind}", count)
+    table.add_row("quarantined", "yes" if result.quarantined else "no")
+    if result.quarantined:
+        table.add_footnote(
+            "migration quarantined: run finished in static-mapping mode"
+        )
+    return table

@@ -1,0 +1,146 @@
+"""Seeded fault-injection campaign (``pytest -m fault_campaign``).
+
+Hundreds of randomized-but-reproducible scenarios: every injected fault
+must be corrected, retried, or surfaced as a structured
+DegradationEvent — never an uncaught exception — and the translation
+table's invariants must hold when the dust settles.
+
+Excluded from the default run by the ``fault_campaign`` marker; CI has
+a dedicated job for it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.config import MigrationConfig, SystemConfig
+from repro.errors import TraceError
+from repro.resilience import (
+    MIGRATION_QUARANTINED,
+    FaultKind,
+    FaultPlan,
+    corrupt_trace_file,
+    summarize_events,
+    truncate_trace_file,
+)
+from repro.trace.io import TraceReader, write_trace
+from repro.trace.record import TRACE_DTYPE
+from repro.units import MB
+
+from .conftest import synthetic_trace
+
+pytestmark = pytest.mark.fault_campaign
+
+INTERVAL = 200
+N_EPOCHS = 10
+SEEDS = range(64)
+ALGOS = ["N", "N-1", "live"]
+
+
+def campaign_config(algo: str) -> SystemConfig:
+    return SystemConfig(
+        total_bytes=64 * MB,
+        onpkg_bytes=8 * MB,
+        migration=MigrationConfig(
+            algorithm=algo, macro_page_bytes=1 * MB, swap_interval=INTERVAL
+        ),
+    ).with_resilience(audit_interval=2, max_consecutive_failures=2)
+
+
+# 64 seeds x 3 algorithms = 192 in-memory scenarios; the trace-file
+# sweep below adds 3 x 8 = 24 more for a 216-scenario campaign.
+@pytest.mark.parametrize("algo", ALGOS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_seeded_fault_scenario(seed, algo):
+    cfg = campaign_config(algo)
+    trace = synthetic_trace(n=N_EPOCHS * INTERVAL, seed=seed)
+    plan = FaultPlan.random(
+        seed=seed, n_epochs=N_EPOCHS, n_slots=cfg.address_map().n_onpkg_pages,
+        rate=0.6,
+    )
+
+    sim = repro.EpochSimulator(cfg)
+    sim.attach_faults(plan)
+    result = sim.run(trace)  # acceptance: must not raise
+
+    # the whole trace was served despite the faults
+    assert result.n_accesses == len(trace)
+    assert result.faults_injected == len(plan)
+
+    # every transient DRAM error got an ECC verdict
+    injected_dram = sum(
+        max(1, ev.param) for ev in plan.events
+        if ev.kind is FaultKind.DRAM_TRANSIENT
+    )
+    verdicts = (
+        result.dram_errors_corrected
+        + result.dram_errors_retried
+        + result.dram_errors_uncorrectable
+    )
+    assert verdicts == injected_dram
+
+    # faults either leave no trace (masked) or a structured event —
+    # quarantine in particular must be recorded, and the table must be
+    # internally consistent at the end either way
+    kinds = summarize_events(result.degradation_events)
+    if result.quarantined:
+        assert kinds.get(MIGRATION_QUARANTINED) == 1
+    sim.table.check_invariants()
+    sim.table.audit()
+
+    # the scenario replays bit-identically from its seed
+    replay = repro.EpochSimulator(cfg)
+    replay.attach_faults(
+        FaultPlan.random(
+            seed=seed, n_epochs=N_EPOCHS,
+            n_slots=cfg.address_map().n_onpkg_pages, rate=0.6,
+        )
+    )
+    again = replay.run(synthetic_trace(n=N_EPOCHS * INTERVAL, seed=seed))
+    assert again.total_latency == result.total_latency
+    assert again.degradation_events == result.degradation_events
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+@pytest.mark.parametrize("case", range(8))
+def test_trace_file_fault_scenario(case, algo, tmp_path):
+    """Torn/corrupted trace files: salvage what is whole, reject cleanly."""
+    cfg = campaign_config(algo)
+    trace = synthetic_trace(n=N_EPOCHS * INTERVAL, seed=case)
+    path = tmp_path / "trace.bin"
+    write_trace(path, trace)
+    itemsize = TRACE_DTYPE.itemsize
+    rng = np.random.default_rng(case)
+
+    if case % 2 == 0:
+        # torn tail: drop a non-record-aligned span, as a crashed writer
+        # or a partial copy would
+        drop = int(rng.integers(1, 3 * itemsize))
+        truncate_trace_file(path, drop)
+        with pytest.raises(TraceError, match="salvage=True"):
+            TraceReader(path)
+        reader = TraceReader(path, salvage=True)
+        assert reader.salvaged
+        whole = (len(trace) * itemsize - drop) // itemsize
+        assert len(reader) == whole
+        assert reader.dropped_bytes == (len(trace) * itemsize - drop) % itemsize
+    else:
+        # header corruption: count scribbled, every record still on disk
+        corrupt_trace_file(
+            path, offset=8,
+            data=rng.integers(0, 256, 8, dtype=np.uint8).tobytes(),
+        )
+        reader = TraceReader(path, salvage=True)
+        if not reader.salvaged:
+            # the scribble happened to encode the true count
+            assert len(reader) == len(trace)
+        else:
+            assert len(reader) == len(trace)
+            assert reader.dropped_bytes == 0
+
+    salvaged = reader.read_all()
+    if len(salvaged):
+        result = repro.EpochSimulator(cfg).run(salvaged)
+        assert result.n_accesses == len(salvaged)

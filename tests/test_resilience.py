@@ -1,0 +1,494 @@
+"""Resilience subsystem: checkpoint/restore, degradation, audits, ECC.
+
+The fault *campaign* (hundreds of randomized scenarios) lives in
+``test_fault_campaign.py`` behind the ``fault_campaign`` marker; this
+module holds the deterministic unit and acceptance tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import numpy as np
+import pytest
+
+import repro
+from repro.config import MigrationConfig, ResilienceConfig, SystemConfig
+from repro.errors import (
+    CheckpointError,
+    MigrationError,
+    TranslationTableError,
+    WatchdogError,
+)
+from repro.resilience import (
+    AUDIT_FAILED,
+    MIGRATION_QUARANTINED,
+    TABLE_REPAIRED,
+    WATCHDOG_BREACH,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    load_checkpoint,
+    restore_simulator,
+    run_resumable,
+    save_checkpoint,
+    summarize_events,
+)
+from repro.trace.io import write_trace
+from repro.units import MB
+
+from .conftest import synthetic_trace
+
+INTERVAL = 250
+
+
+def config(algo="live", **resilience) -> SystemConfig:
+    cfg = SystemConfig(
+        total_bytes=64 * MB,
+        onpkg_bytes=8 * MB,
+        migration=MigrationConfig(
+            algorithm=algo, macro_page_bytes=1 * MB, swap_interval=INTERVAL
+        ),
+    )
+    return cfg.with_resilience(**resilience) if resilience else cfg
+
+
+def as_fields(result) -> dict:
+    return dataclasses.asdict(result)
+
+
+# ----------------------------------------------------------------------
+# checkpoint / restore
+# ----------------------------------------------------------------------
+class TestCheckpointDeterminism:
+    @pytest.mark.parametrize("algo", ["N", "N-1", "live"])
+    def test_resumed_run_is_field_for_field_identical(self, algo, tmp_path):
+        """Kill-and-resume at every chunk boundary == uninterrupted run."""
+        cfg = config(algo)
+        trace = synthetic_trace(n=4 * INTERVAL * 3, seed=11)
+
+        ref = repro.EpochSimulator(cfg).run(trace)
+
+        path = tmp_path / "ck"
+        sim = repro.EpochSimulator(cfg)
+        result = repro.SimulationResult()
+        chunk = 2 * INTERVAL  # multiple of the swap interval
+        for start in range(0, len(trace), chunk):
+            sim.run_into(trace[start : start + chunk], result)
+            save_checkpoint(path, sim, result)
+            # simulate the process dying: rebuild everything from disk
+            bundle = load_checkpoint(path)
+            sim = restore_simulator(bundle)
+            result = bundle.result
+
+        assert as_fields(ref) == as_fields(result)
+
+    def test_resume_with_fault_plan_keeps_injecting(self, tmp_path):
+        """The fault plan is checkpointed state: a resumed run injects
+        the remaining scheduled faults exactly as an uninterrupted one."""
+        cfg = config("live", audit_interval=2)
+        trace = synthetic_trace(n=8 * INTERVAL, seed=5)
+        plan = FaultPlan.random(seed=42, n_epochs=8, n_slots=8, rate=0.9)
+
+        sim = repro.EpochSimulator(cfg)
+        sim.attach_faults(plan)
+        ref = sim.run(trace)
+        assert ref.faults_injected > 0
+
+        path = tmp_path / "ck"
+        sim2 = repro.EpochSimulator(cfg)
+        sim2.attach_faults(plan)
+        result = repro.SimulationResult()
+        for start in range(0, len(trace), INTERVAL):
+            sim2.run_into(trace[start : start + INTERVAL], result)
+            save_checkpoint(path, sim2, result)
+            bundle = load_checkpoint(path)
+            sim2 = restore_simulator(bundle)
+            result = bundle.result
+
+        assert as_fields(ref) == as_fields(result)
+
+    def test_facade_save_and_resume(self, tmp_path):
+        cfg = config("live")
+        trace = synthetic_trace(n=4 * INTERVAL, seed=2)
+        system = repro.HeterogeneousMainMemory(cfg)
+        result = repro.SimulationResult()
+        system.simulator.run_into(trace[: 2 * INTERVAL], result)
+        path = tmp_path / "ck"
+        system.save_checkpoint(path, result, extra={"note": "halfway"})
+
+        resumed, result2, extra = repro.HeterogeneousMainMemory.resume(path)
+        assert extra == {"note": "halfway"}
+        resumed.simulator.run_into(trace[2 * INTERVAL :], result2)
+
+        system.simulator.run_into(trace[2 * INTERVAL :], result)
+        assert as_fields(result) == as_fields(result2)
+
+
+class TestCheckpointFileFormat:
+    def _checkpoint(self, tmp_path):
+        cfg = config()
+        sim = repro.EpochSimulator(cfg)
+        result = sim.run(synthetic_trace(n=INTERVAL, seed=0))
+        path = tmp_path / "ck"
+        save_checkpoint(path, sim, result)
+        return path
+
+    def test_roundtrip(self, tmp_path):
+        path = self._checkpoint(tmp_path)
+        bundle = load_checkpoint(path)
+        assert bundle.extra == {}
+        assert bundle.migrate is True
+
+    def test_bad_magic(self, tmp_path):
+        path = self._checkpoint(tmp_path)
+        with open(path, "r+b") as fh:
+            fh.write(b"NOTACKPT")
+        with pytest.raises(CheckpointError, match="magic"):
+            load_checkpoint(path)
+
+    def test_truncated_payload(self, tmp_path):
+        path = self._checkpoint(tmp_path)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size - 100)
+        with pytest.raises(CheckpointError, match="digest"):
+            load_checkpoint(path)
+
+    def test_flipped_payload_byte(self, tmp_path):
+        path = self._checkpoint(tmp_path)
+        with open(path, "r+b") as fh:
+            fh.seek(-1, os.SEEK_END)
+            last = fh.read(1)
+            fh.seek(-1, os.SEEK_END)
+            fh.write(bytes([last[0] ^ 0xFF]))
+        with pytest.raises(CheckpointError, match="digest"):
+            load_checkpoint(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = self._checkpoint(tmp_path)
+        with open(path, "r+b") as fh:
+            fh.truncate(10)
+        with pytest.raises(CheckpointError, match="header"):
+            load_checkpoint(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(tmp_path / "nope")
+
+
+class TestRunResumable:
+    def test_resume_matches_uninterrupted(self, tmp_path):
+        cfg = config("live")
+        trace = synthetic_trace(n=6 * INTERVAL, seed=9)
+        trace_path = tmp_path / "trace.bin"
+        write_trace(trace_path, trace)
+
+        ref = repro.EpochSimulator(cfg).run(trace)
+
+        # uninterrupted driver run
+        full = run_resumable(
+            cfg, trace_path, tmp_path / "ck_a", chunk_records=2 * INTERVAL
+        )
+        assert as_fields(ref) == as_fields(full)
+
+        # killed after one chunk: pre-seed the checkpoint, then resume
+        sim = repro.EpochSimulator(cfg)
+        partial = repro.SimulationResult()
+        sim.run_into(trace[: 2 * INTERVAL], partial)
+        ck = tmp_path / "ck_b"
+        save_checkpoint(
+            ck, sim, partial,
+            extra={"chunks_done": 1, "chunk_records": 2 * INTERVAL},
+        )
+        resumed = run_resumable(
+            cfg, trace_path, ck, chunk_records=2 * INTERVAL
+        )
+        assert as_fields(ref) == as_fields(resumed)
+
+    def test_chunk_size_mismatch_is_rejected(self, tmp_path):
+        cfg = config("live")
+        trace = synthetic_trace(n=4 * INTERVAL, seed=9)
+        trace_path = tmp_path / "trace.bin"
+        write_trace(trace_path, trace)
+        ck = tmp_path / "ck"
+        run_resumable(cfg, trace_path, ck, chunk_records=2 * INTERVAL)
+        with pytest.raises(CheckpointError, match="chunk_records"):
+            run_resumable(cfg, trace_path, ck, chunk_records=INTERVAL)
+
+
+# ----------------------------------------------------------------------
+# graceful degradation
+# ----------------------------------------------------------------------
+class TestDegradedMode:
+    def _abort_everything_plan(self, n_epochs):
+        return FaultPlan(
+            [FaultEvent(epoch=e, kind=FaultKind.ABORT_SWAP, param=e)
+             for e in range(n_epochs)],
+            seed=1,
+        )
+
+    def test_quarantine_after_k_failures(self):
+        cfg = config("live", max_consecutive_failures=2)
+        n_epochs = 12
+        trace = synthetic_trace(n=n_epochs * INTERVAL, seed=3)
+        sim = repro.EpochSimulator(cfg)
+        sim.attach_faults(self._abort_everything_plan(n_epochs))
+        result = sim.run(trace)
+
+        assert result.quarantined
+        assert sim.engine.quarantined
+        kinds = summarize_events(result.degradation_events)
+        assert kinds.get("swap-failed", 0) >= 2
+        assert kinds.get(MIGRATION_QUARANTINED) == 1
+        # quarantine rolled the table back to the boot-time mapping
+        sim.table.check_invariants()
+        from repro.migration.table import TranslationTable
+
+        boot = TranslationTable(cfg.address_map())
+        np.testing.assert_array_equal(sim.table.machine_of, boot.machine_of)
+        np.testing.assert_array_equal(sim.table.onpkg, boot.onpkg)
+        # and the engine stays inert afterwards
+        decision = sim.engine.maybe_swap(int(trace.time[-1]) + 10)
+        assert not decision.triggered
+        assert "quarantined" in decision.reason
+
+    @pytest.mark.parametrize("algo", ["N", "N-1", "live"])
+    def test_degraded_latency_within_5pct_of_static(self, algo):
+        """Acceptance: a fully degraded run serves the whole trace with
+        average latency within 5% of the static-mapping baseline."""
+        cfg = config(algo, max_consecutive_failures=1)
+        n_epochs = 16
+        trace = synthetic_trace(n=n_epochs * INTERVAL, seed=7)
+
+        static = repro.HeterogeneousMainMemory(cfg, migrate=False).run(trace)
+
+        sim = repro.EpochSimulator(cfg)
+        sim.attach_faults(self._abort_everything_plan(n_epochs))
+        degraded = sim.run(trace)
+
+        assert degraded.quarantined
+        assert degraded.n_accesses == static.n_accesses == len(trace)
+        ratio = degraded.average_latency / static.average_latency
+        assert ratio == pytest.approx(1.0, abs=0.05)
+
+    def test_failure_counter_resets_on_success(self):
+        cfg = config("live", max_consecutive_failures=3)
+        n_epochs = 12
+        trace = synthetic_trace(n=n_epochs * INTERVAL, seed=3)
+        # abort only even epochs: failures never become consecutive
+        # enough to quarantine as long as odd-epoch swaps succeed
+        plan = FaultPlan(
+            [FaultEvent(epoch=e, kind=FaultKind.ABORT_SWAP)
+             for e in range(0, n_epochs, 4)],
+            seed=1,
+        )
+        sim = repro.EpochSimulator(cfg)
+        sim.attach_faults(plan)
+        result = sim.run(trace)
+        assert not result.quarantined
+        sim.table.check_invariants()
+
+
+class TestAbortRollback:
+    @pytest.mark.parametrize("algo", ["N", "N-1", "live"])
+    @pytest.mark.parametrize("step", [0, 1, 5])
+    def test_aborted_swap_leaves_table_untouched(self, algo, step, tiny_amap):
+        from repro.migration.engine import MigrationEngine
+
+        engine = MigrationEngine(
+            tiny_amap,
+            MigrationConfig(
+                algorithm=algo, macro_page_bytes=1 * MB, swap_interval=100
+            ),
+        )
+        hot = tiny_amap.n_onpkg_pages + 2
+        engine.observe_epoch(
+            slots=np.array([], dtype=np.int64),
+            slot_times=np.array([], dtype=np.int64),
+            offpkg_pages=np.full(5, hot, dtype=np.int64),
+            off_times=np.arange(5, dtype=np.int64),
+            off_subblocks=np.zeros(5, dtype=np.int64),
+        )
+        before = engine.table.state_dict()
+        engine.inject_abort(at_copy_step=step)
+        decision = engine.maybe_swap(now=100)
+        assert not decision.triggered
+        assert "swap failed" in decision.reason
+        assert engine.swaps_failed == 1
+        after = engine.table.state_dict()
+        for key in before:
+            value = before[key]
+            if isinstance(value, np.ndarray):
+                np.testing.assert_array_equal(value, after[key])
+            else:
+                assert value == after[key], key
+        engine.table.audit()
+        # a later hot page still migrates: one failure != quarantine
+        engine.observe_epoch(
+            slots=np.array([], dtype=np.int64),
+            slot_times=np.array([], dtype=np.int64),
+            offpkg_pages=np.full(5, hot, dtype=np.int64),
+            off_times=np.arange(200, 205, dtype=np.int64),
+            off_subblocks=np.zeros(5, dtype=np.int64),
+        )
+        assert engine.maybe_swap(now=300).triggered
+
+
+# ----------------------------------------------------------------------
+# audits, repair, watchdog, ECC
+# ----------------------------------------------------------------------
+class TestAuditAndRepair:
+    def test_stuck_bits_detected_and_repaired(self):
+        cfg = config("live", audit_interval=1)
+        trace = synthetic_trace(n=4 * INTERVAL, seed=1)
+        plan = FaultPlan(
+            [
+                FaultEvent(epoch=0, kind=FaultKind.STUCK_P_BIT, param=2),
+                FaultEvent(epoch=1, kind=FaultKind.STUCK_F_BIT, param=3),
+                FaultEvent(epoch=2, kind=FaultKind.BITMAP_CORRUPTION, param=5),
+            ],
+            seed=0,
+        )
+        sim = repro.EpochSimulator(cfg)
+        sim.attach_faults(plan)
+        result = sim.run(trace)
+
+        kinds = summarize_events(result.degradation_events)
+        assert kinds.get(AUDIT_FAILED, 0) >= 3
+        assert kinds.get(TABLE_REPAIRED, 0) >= 3
+        assert not result.quarantined  # SEUs are repairable corruption
+        sim.table.audit()
+
+    def test_audit_interval_zero_never_audits(self):
+        cfg = config("live", audit_interval=0)
+        sim = repro.EpochSimulator(cfg)
+        sim.attach_faults(FaultPlan(
+            [FaultEvent(epoch=0, kind=FaultKind.STUCK_P_BIT, param=1)], seed=0
+        ))
+        result = sim.run(synthetic_trace(n=2 * INTERVAL, seed=1))
+        kinds = summarize_events(result.degradation_events)
+        assert AUDIT_FAILED not in kinds
+
+    def test_table_audit_rejects_stray_state(self, tiny_amap):
+        from repro.migration.table import TranslationTable
+
+        table = TranslationTable(tiny_amap)
+        table.check_invariants()
+        table.audit()
+        table.f_bit[1] = True
+        with pytest.raises(TranslationTableError):
+            table.audit()
+        fixes = table.repair()
+        assert fixes
+        table.audit()
+
+    def test_repair_gives_up_on_duplicate_mapping(self, tiny_amap):
+        from repro.migration.table import TranslationTable
+
+        table = TranslationTable(tiny_amap)
+        # two physical pages claiming the same machine page is
+        # semantically ambiguous — repair must refuse to guess
+        table.pair[1] = table.pair[0]
+        with pytest.raises(TranslationTableError):
+            table.repair()
+
+
+class TestWatchdog:
+    def test_raise_mode(self):
+        cfg = config("live", epoch_cycle_budget=10, watchdog_action="raise")
+        sim = repro.EpochSimulator(cfg)
+        with pytest.raises(WatchdogError, match="budget"):
+            sim.run(synthetic_trace(n=2 * INTERVAL, seed=0))
+
+    def test_degrade_mode_records_and_finishes(self):
+        cfg = config("live", epoch_cycle_budget=10, watchdog_action="degrade")
+        sim = repro.EpochSimulator(cfg)
+        result = sim.run(synthetic_trace(n=4 * INTERVAL, seed=0))
+        assert result.n_accesses == 4 * INTERVAL
+        kinds = summarize_events(result.degradation_events)
+        assert kinds.get(WATCHDOG_BREACH) == 4
+
+    def test_generous_budget_is_silent(self):
+        cfg = config("live", epoch_cycle_budget=1 << 40)
+        sim = repro.EpochSimulator(cfg)
+        result = sim.run(synthetic_trace(n=2 * INTERVAL, seed=0))
+        assert not result.degradation_events
+
+
+class TestEcc:
+    def test_transient_errors_fully_accounted(self):
+        cfg = config("live")
+        plan = FaultPlan(
+            [FaultEvent(epoch=e, kind=FaultKind.DRAM_TRANSIENT, param=3)
+             for e in range(6)],
+            seed=4,
+        )
+        sim = repro.EpochSimulator(cfg)
+        sim.attach_faults(plan)
+        result = sim.run(synthetic_trace(n=6 * INTERVAL, seed=4))
+        total = (
+            result.dram_errors_corrected
+            + result.dram_errors_retried
+            + result.dram_errors_uncorrectable
+        )
+        assert total == 18  # every injected error has a verdict
+        assert result.faults_injected == 6
+
+    def test_ecc_is_seed_deterministic(self):
+        def run():
+            cfg = config("live")
+            plan = FaultPlan(
+                [FaultEvent(epoch=e, kind=FaultKind.DRAM_TRANSIENT, param=2)
+                 for e in range(4)],
+                seed=99,
+            )
+            sim = repro.EpochSimulator(cfg)
+            sim.attach_faults(plan)
+            return sim.run(synthetic_trace(n=4 * INTERVAL, seed=1))
+
+        assert as_fields(run()) == as_fields(run())
+
+    def test_ecc_errors_cost_cycles(self):
+        cfg = config("live")
+        clean = repro.EpochSimulator(cfg).run(synthetic_trace(n=2 * INTERVAL, seed=8))
+        sim = repro.EpochSimulator(cfg)
+        sim.attach_faults(FaultPlan(
+            [FaultEvent(epoch=0, kind=FaultKind.DRAM_TRANSIENT, param=50)],
+            seed=12,
+        ))
+        noisy = sim.run(synthetic_trace(n=2 * INTERVAL, seed=8))
+        assert noisy.total_latency > clean.total_latency
+
+
+class TestResilienceConfig:
+    def test_validation(self):
+        with pytest.raises(Exception):
+            ResilienceConfig(audit_interval=-1)
+        with pytest.raises(Exception):
+            ResilienceConfig(max_consecutive_failures=0)
+        with pytest.raises(Exception):
+            ResilienceConfig(watchdog_action="panic")
+
+    def test_with_resilience_builder(self):
+        cfg = config()
+        tuned = cfg.with_resilience(audit_interval=7)
+        assert tuned.resilience.audit_interval == 7
+        assert tuned.migration == cfg.migration
+
+    def test_report_table_renders(self):
+        cfg = config("live", max_consecutive_failures=1)
+        n_epochs = 6
+        sim = repro.EpochSimulator(cfg)
+        sim.attach_faults(FaultPlan(
+            [FaultEvent(epoch=e, kind=FaultKind.ABORT_SWAP)
+             for e in range(n_epochs)],
+            seed=0,
+        ))
+        result = sim.run(synthetic_trace(n=n_epochs * INTERVAL, seed=7))
+        from repro.stats.report import resilience_table
+
+        text = resilience_table(result).render()
+        assert "quarantined" in text
+        assert "faults injected" in text

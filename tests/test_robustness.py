@@ -10,6 +10,7 @@ from hypothesis import given, settings, strategies as st
 
 import repro
 from repro.config import MigrationConfig, SystemConfig
+from repro.errors import AddressError
 from repro.trace.record import make_chunk
 from repro.units import KB, MB
 
@@ -76,9 +77,27 @@ class TestFuzzedConfigs:
         interval=st.integers(50, 500),
         algo=st.sampled_from(["N", "N-1", "live"]),
         seed=st.integers(0, 100),
+        os_assisted=st.booleans(),
+        critical_block_first=st.booleans(),
     )
-    def test_random_config_random_trace(self, page_log2, interval, algo, seed):
-        cfg = system(page=1 << page_log2, interval=interval, algo=algo)
+    def test_random_config_random_trace(
+        self, page_log2, interval, algo, seed, os_assisted, critical_block_first
+    ):
+        page = 1 << page_log2
+        cfg = SystemConfig(
+            total_bytes=64 * MB,
+            onpkg_bytes=8 * MB,
+            migration=MigrationConfig(
+                algorithm=algo,
+                macro_page_bytes=page,
+                swap_interval=interval,
+                # os_assisted is derived: force it by moving the HW
+                # translation floor just above / at the page size
+                hw_min_page_bytes=page * 2 if os_assisted else page,
+                critical_block_first=critical_block_first,
+            ),
+        )
+        assert cfg.migration.os_assisted is os_assisted
         rng = np.random.default_rng(seed)
         n = 2_000
         hot = rng.integers(0, 64 * MB // 4096)
@@ -89,11 +108,15 @@ class TestFuzzedConfigs:
         ) % (64 * MB // 4096)
         trace = make_chunk(blocks * 4096, time=np.cumsum(rng.integers(1, 80, n)))
         sim = repro.HeterogeneousMainMemory(cfg)
-        res = sim.run(trace)
+        res = repro.SimulationResult()
+        # feed one epoch at a time so the table's invariants are checked
+        # at every epoch boundary, not just at the end of the run
+        for start in range(0, n, interval):
+            sim.simulator.run_into(trace[start : start + interval], res)
+            sim.table.check_invariants()
         assert res.n_accesses == n
         assert res.onpkg_accesses + res.offpkg_accesses == n
         assert res.total_latency > 0
-        sim.table.check_invariants()
 
 
 class TestHostileTraces:
@@ -115,5 +138,5 @@ class TestHostileTraces:
     def test_out_of_range_address_rejected_by_page_space(self):
         cfg = system()
         trace = make_chunk([cfg.total_bytes + 4096])
-        with pytest.raises(Exception):
+        with pytest.raises(AddressError, match="outside"):
             repro.HeterogeneousMainMemory(cfg).run(trace)
