@@ -1,10 +1,15 @@
 """Kill-safe simulation campaigns: checkpoint, kill, resume.
 
 Long trace-driven campaigns die for boring reasons — preemption, OOM,
-power. This example writes a trace to disk, starts a chunked run that
-checkpoints after every chunk, kills it partway through, then resumes
-from the checkpoint — and shows that the resumed result is
-field-for-field identical to an uninterrupted run.
+power. This example demonstrates both recovery layers:
+
+* **intra-task resume** — one long chunked run checkpoints after every
+  chunk (`run_resumable`), is killed partway through, then resumes
+  from the checkpoint with a field-for-field identical result;
+* **campaign-level resume** — a multi-point sweep runs under the
+  `CampaignSupervisor`: one worker crashes mid-campaign (simulated
+  `kill -9`) and is retried; the finished campaign's manifest lets a
+  re-invocation skip every completed point.
 
 Run:  python examples/resumable_campaign.py
 """
@@ -14,6 +19,7 @@ import os
 import tempfile
 
 import repro
+from repro.campaign import CampaignSupervisor, CampaignTask, RetryPolicy
 from repro.errors import CheckpointError
 from repro.trace.io import write_trace
 from repro.workloads.registry import generate_trace
@@ -23,6 +29,71 @@ SWAP_INTERVAL = 1_000
 # resumability rule: chunk at a multiple of the swap interval so epoch
 # boundaries land identically however the trace is split
 CHUNK_RECORDS = 20 * SWAP_INTERVAL
+
+
+# ---------------------------------------------------------------------------
+# campaign-level resume: a sweep of points under the supervisor
+# ---------------------------------------------------------------------------
+
+SWEEP_GRANULARITIES_KB = (16, 64, 256, 1024)
+SWEEP_ACCESSES = 60_000
+
+
+def sweep_point(granularity_kb: int, crash_flag: str | None = None) -> dict:
+    """One simulation point (module-level so workers can run it).
+
+    If ``crash_flag`` names a file that does not exist yet, the worker
+    creates it and dies with ``os._exit`` — a one-shot stand-in for an
+    OOM kill. The supervisor's retry then succeeds.
+    """
+    if crash_flag is not None and not os.path.exists(crash_flag):
+        open(crash_flag, "w").close()
+        os._exit(1)
+    cfg = repro.scaled_config(
+        algorithm="live", macro_page_bytes=granularity_kb * repro.KB,
+        swap_interval=SWAP_INTERVAL,
+    )
+    trace = generate_trace(
+        "pgbench", SWEEP_ACCESSES, seed=1,
+        footprint_bytes=cfg.total_bytes // 2,
+    )
+    result = repro.HeterogeneousMainMemory(cfg).run(trace)
+    return {
+        "avg_latency": result.average_latency,
+        "onpkg_fraction": result.onpkg_fraction,
+    }
+
+
+def campaign_demo(workdir: str) -> None:
+    manifest = os.path.join(workdir, "sweep-manifest.json")
+    crash_flag = os.path.join(workdir, "crashed-once")
+    tasks = [
+        CampaignTask(
+            f"sweep/{kb}KB", sweep_point, (kb,),
+            # the 64 KB point crashes on its first attempt
+            {"crash_flag": crash_flag if kb == 64 else None},
+        )
+        for kb in SWEEP_GRANULARITIES_KB
+    ]
+    supervisor = CampaignSupervisor(
+        jobs=2, task_timeout=300.0,
+        retry=RetryPolicy(max_attempts=3, base_delay=0.2),
+        manifest_path=manifest,
+    )
+    report = supervisor.run(tasks)
+    assert report.ok, [o.error for o in report.failed]
+    for outcome in report.outcomes:
+        note = " (crashed once, retried)" if outcome.attempts > 1 else ""
+        print(f"  {outcome.task_id}: "
+              f"{outcome.result['avg_latency']:.1f} cycles/access, "
+              f"attempt(s)={outcome.attempts}{note}")
+
+    # a re-invocation — after a supervisor kill, say — recomputes nothing
+    again = CampaignSupervisor(jobs=2, manifest_path=manifest).run(tasks)
+    assert all(o.status == "skipped" for o in again.outcomes)
+    print(f"resume:         all {len(again.skipped)} points skipped "
+          f"(reprinted from the manifest)")
+    assert again.result("sweep/16KB") == report.result("sweep/16KB")
 
 
 def main() -> None:
@@ -97,6 +168,9 @@ def main() -> None:
             repro.load_checkpoint(ckpt_path)
         except CheckpointError as exc:
             print(f"tamper check:   {exc}")
+
+        print("\ncampaign-level resume (supervisor + manifest):")
+        campaign_demo(workdir)
 
 
 if __name__ == "__main__":

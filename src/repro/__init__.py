@@ -44,7 +44,22 @@ from .core import (
     baseline_latency,
     effectiveness,
 )
-from .errors import CheckpointError, FaultInjectionError, ReproError, WatchdogError
+from .campaign import (
+    CampaignManifest,
+    CampaignReport,
+    CampaignSupervisor,
+    CampaignTask,
+    RetryPolicy,
+)
+from .errors import (
+    CampaignError,
+    CheckpointError,
+    FaultInjectionError,
+    ReproError,
+    TaskCrashError,
+    TaskTimeoutError,
+    WatchdogError,
+)
 from .resilience import (
     DegradationEvent,
     FaultKind,
@@ -63,6 +78,11 @@ __all__ = [
     "BusConfig",
     "CacheHierarchyConfig",
     "CacheLevelConfig",
+    "CampaignError",
+    "CampaignManifest",
+    "CampaignReport",
+    "CampaignSupervisor",
+    "CampaignTask",
     "CheckpointError",
     "DegradationEvent",
     "DetailedSimulator",
@@ -81,8 +101,11 @@ __all__ = [
     "PowerConfig",
     "ReproError",
     "ResilienceConfig",
+    "RetryPolicy",
     "SimulationResult",
     "SystemConfig",
+    "TaskCrashError",
+    "TaskTimeoutError",
     "WatchdogError",
     "baseline_latency",
     "effectiveness",

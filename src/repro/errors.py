@@ -65,3 +65,30 @@ class WatchdogError(SimulationError):
     e.g. a queue backlog growing without bound under a hostile trace —
     into a diagnosable error naming the epoch and the budget it blew.
     """
+
+
+class CampaignError(ReproError):
+    """A campaign (multi-task sweep) was misused or its manifest is bad.
+
+    Raised for duplicate task ids, unknown manifest schema versions,
+    and corrupt manifest files — never for an individual task failing;
+    task failures are recorded in the campaign report instead.
+    """
+
+
+class TaskCrashError(CampaignError):
+    """A campaign worker process died without reporting a result.
+
+    Covers ``os._exit``, SIGKILL, OOM kills and interpreter aborts.
+    Retryable by the default :class:`~repro.campaign.RetryPolicy`: a
+    crash poisons only the attempt, not the campaign.
+    """
+
+
+class TaskTimeoutError(CampaignError):
+    """A campaign task exceeded its wall-clock budget or went silent.
+
+    Raised (and recorded) when a task blows its ``task_timeout`` or its
+    worker stops heartbeating for longer than the heartbeat timeout.
+    The supervisor kills the worker; the task is retried per policy.
+    """

@@ -85,3 +85,35 @@ def resilience_table(result) -> Table:
             "migration quarantined: run finished in static-mapping mode"
         )
     return table
+
+
+def campaign_table(report) -> Table:
+    """Partial-results summary of a campaign as a :class:`Table`.
+
+    Takes a :class:`~repro.campaign.CampaignReport`; one row per task
+    (status, attempts, duration, error), plus a footnote totalling the
+    completed/failed/skipped split — so a degraded campaign states
+    exactly which points it is missing.
+    """
+    table = Table(
+        "Campaign summary",
+        ["task", "status", "attempts", "duration", "error"],
+    )
+    for outcome in report.outcomes:
+        table.add_row(
+            outcome.task_id,
+            outcome.status,
+            outcome.attempts,
+            f"{outcome.duration_s:.1f}s",
+            (outcome.error or "")[:60],
+        )
+    table.add_footnote(
+        f"{len(report.completed)} completed, {len(report.failed)} failed, "
+        f"{len(report.skipped)} skipped (already done)"
+    )
+    if report.failed:
+        table.add_footnote(
+            "campaign degraded: results above are PARTIAL — failed tasks "
+            "exhausted their retry budget"
+        )
+    return table

@@ -1,0 +1,178 @@
+"""RetryPolicy: backoff shape, jitter determinism, classification, seeds.
+
+No test here sleeps — time is injected through
+:class:`repro.campaign.FakeClock`.
+"""
+
+import pytest
+
+from repro.campaign import FakeClock, RetryPolicy
+from repro.errors import (
+    CampaignError,
+    FaultInjectionError,
+    TaskCrashError,
+    TaskTimeoutError,
+    WatchdogError,
+)
+
+
+class TestBackoffSequence:
+    def test_exponential_without_jitter(self):
+        policy = RetryPolicy(base_delay=0.5, multiplier=2.0, max_delay=30.0,
+                             jitter_fraction=0.0)
+        assert [policy.backoff(k) for k in (1, 2, 3, 4)] == [0.5, 1.0, 2.0, 4.0]
+
+    def test_capped_at_max_delay(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=5.0,
+                             jitter_fraction=0.0)
+        assert policy.backoff(1) == 1.0
+        assert policy.backoff(2) == 5.0
+        assert policy.backoff(9) == 5.0
+
+    def test_call_sleeps_the_backoff_sequence(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=4, base_delay=0.5, jitter_fraction=0.0)
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 4:
+                raise FaultInjectionError("transient")
+            return "done"
+
+        result, attempts = policy.call(flaky, clock=clock)
+        assert result == "done"
+        assert attempts == 4
+        assert clock.sleeps == [0.5, 1.0, 2.0]
+        assert clock.now == pytest.approx(3.5)
+
+    def test_jitter_stays_within_fraction(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter_fraction=0.25)
+        for attempt in range(1, 50):
+            delay = policy.backoff(attempt, task_key=f"t{attempt}")
+            assert 0.75 <= delay <= 1.25
+
+    def test_first_try_has_no_delay(self):
+        assert RetryPolicy().backoff(0) == 0.0
+
+
+class TestJitterDeterminism:
+    def test_same_seed_same_delays(self):
+        a = RetryPolicy(seed=7)
+        b = RetryPolicy(seed=7)
+        for attempt in (1, 2, 3):
+            assert a.backoff(attempt, "task") == b.backoff(attempt, "task")
+
+    def test_different_seed_different_delays(self):
+        a = RetryPolicy(seed=1)
+        b = RetryPolicy(seed=2)
+        assert any(
+            a.backoff(k, "task") != b.backoff(k, "task") for k in (1, 2, 3)
+        )
+
+    def test_different_tasks_desynchronise(self):
+        policy = RetryPolicy(seed=0)
+        delays = {policy.backoff(1, f"task-{i}") for i in range(8)}
+        assert len(delays) > 1  # not a lockstep thundering herd
+
+
+class TestClassification:
+    @pytest.mark.parametrize("exc", [
+        FaultInjectionError("x"), WatchdogError("x"),
+        TaskCrashError("x"), TaskTimeoutError("x"),
+    ])
+    def test_default_retryable_kinds(self, exc):
+        assert RetryPolicy().is_retryable(exc)
+
+    @pytest.mark.parametrize("exc", [ValueError("x"), KeyError("x"),
+                                     CampaignError("x")])
+    def test_default_non_retryable_kinds(self, exc):
+        assert not RetryPolicy().is_retryable(exc)
+
+    def test_non_retryable_propagates_immediately(self):
+        clock = FakeClock()
+        calls = []
+
+        def bad():
+            calls.append(1)
+            raise ValueError("bug, not weather")
+
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=5).call(bad, clock=clock)
+        assert len(calls) == 1
+        assert clock.sleeps == []
+
+    def test_exhausted_retryable_raises_last_error(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=3, base_delay=0.1, jitter_fraction=0.0)
+
+        def always():
+            raise WatchdogError("still broken")
+
+        with pytest.raises(WatchdogError):
+            policy.call(always, clock=clock)
+        assert len(clock.sleeps) == 2  # retries, not attempts
+
+    def test_custom_classification(self):
+        policy = RetryPolicy(retryable=(KeyError,))
+        assert policy.is_retryable(KeyError("k"))
+        assert not policy.is_retryable(FaultInjectionError("x"))
+
+    def test_on_retry_callback_sees_each_failure(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=3, jitter_fraction=0.0)
+        seen = []
+        def flaky():
+            if len(seen) < 2:
+                raise FaultInjectionError("again")
+            return 1
+        policy.call(flaky, clock=clock,
+                    on_retry=lambda a, e, d: seen.append((a, type(e), d)))
+        assert [s[0] for s in seen] == [1, 2]
+        assert all(s[1] is FaultInjectionError for s in seen)
+        assert [s[2] for s in seen] == clock.sleeps
+
+
+class TestAttemptSeeds:
+    def test_first_attempt_keeps_base_seed(self):
+        assert RetryPolicy().attempt_seed(42, 1) == 42
+
+    def test_retries_get_distinct_seeds(self):
+        policy = RetryPolicy()
+        seeds = [policy.attempt_seed(42, k) for k in (1, 2, 3, 4)]
+        assert len(set(seeds)) == 4
+
+    def test_derived_seeds_are_deterministic(self):
+        # two fresh policy objects (e.g. in two processes) agree
+        assert (RetryPolicy(seed=5).attempt_seed(42, 3)
+                == RetryPolicy(seed=5).attempt_seed(42, 3))
+
+    def test_derived_seeds_fit_32_bits(self):
+        policy = RetryPolicy()
+        for attempt in (2, 3, 10):
+            assert 0 <= policy.attempt_seed(2**31, attempt) < 2**32
+
+    def test_policy_seed_shifts_derived_seeds(self):
+        assert (RetryPolicy(seed=1).attempt_seed(42, 2)
+                != RetryPolicy(seed=2).attempt_seed(42, 2))
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_delay": -1.0},
+        {"multiplier": 0.5},
+        {"jitter_fraction": 1.0},
+        {"jitter_fraction": -0.1},
+    ])
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(CampaignError):
+            RetryPolicy(**kwargs)
+
+
+class TestFakeClock:
+    def test_sleep_advances_without_blocking(self):
+        clock = FakeClock(start=10.0)
+        clock.sleep(2.5)
+        assert clock.monotonic() == 12.5
+        assert clock.sleeps == [2.5]

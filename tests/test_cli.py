@@ -2,8 +2,29 @@
 
 import pytest
 
+from repro.experiments import runner
 from repro.experiments.runner import main as experiments_main
+from repro.stats.report import Table
 from repro.trace.__main__ import main as trace_main
+
+
+def _table(name: str) -> Table:
+    table = Table(f"stub {name}", ["value"])
+    table.add_row(name)
+    return table
+
+
+# module-level stub experiments: picklable for --jobs > 1 campaigns
+def stub_alpha(fast=True):
+    return _table("alpha")
+
+
+def stub_beta(fast=True):
+    return [_table("beta-1"), _table("beta-2")]
+
+
+def stub_broken(fast=True):
+    raise RuntimeError("experiment exploded")
 
 
 class TestTraceCli:
@@ -35,6 +56,98 @@ class TestExperimentsCli:
     def test_unknown_experiment(self):
         with pytest.raises(SystemExit):
             experiments_main(["fig99"])
+
+    def test_bad_jobs_rejected(self):
+        from repro.errors import CampaignError
+
+        with pytest.raises(CampaignError):
+            experiments_main(["fig10", "--jobs", "0"])
+
+
+class TestAllMode:
+    """`all` keeps going past a broken experiment (campaign semantics)."""
+
+    @pytest.fixture
+    def stub_experiments(self, monkeypatch):
+        monkeypatch.setattr(runner, "EXPERIMENTS", {
+            "alpha": stub_alpha, "beta": stub_beta, "broken": stub_broken,
+        })
+
+    def test_all_success_exit_zero(self, stub_experiments, monkeypatch, capsys):
+        monkeypatch.setitem(runner.EXPERIMENTS, "broken", stub_alpha)
+        assert experiments_main(["all"]) == 0
+        out = capsys.readouterr().out
+        # sorted experiment order, every table printed
+        assert out.index("stub alpha") < out.index("stub beta-1") \
+            < out.index("stub beta-2")
+
+    def test_failure_does_not_abort_the_sweep(self, stub_experiments, capsys):
+        assert experiments_main(["all"]) == 1
+        captured = capsys.readouterr()
+        # the siblings of the broken experiment still ran and printed
+        assert "stub alpha" in captured.out
+        assert "stub beta-2" in captured.out
+        # failure summary names the culprit; exit code was nonzero
+        assert "RuntimeError: experiment exploded" in captured.err
+        assert "1/3 experiments failed: broken" in captured.err
+        assert "Campaign summary" in captured.out
+
+    def test_all_parallel_jobs(self, stub_experiments, monkeypatch, capsys):
+        monkeypatch.setitem(runner.EXPERIMENTS, "broken", stub_beta)
+        assert experiments_main(["all", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        # deterministic print order even with parallel workers
+        assert out.index("stub alpha") < out.index("stub beta-1")
+
+    def test_manifest_resume_skips_completed(self, stub_experiments,
+                                             monkeypatch, tmp_path, capsys):
+        manifest = str(tmp_path / "run.json")
+        assert experiments_main(["all", "--manifest", manifest]) == 1
+        capsys.readouterr()
+
+        # "fix" the broken experiment and resume from the manifest
+        monkeypatch.setitem(runner.EXPERIMENTS, "broken", stub_alpha)
+        assert experiments_main(["all", "--manifest", manifest]) == 0
+        captured = capsys.readouterr()
+        assert "[alpha skipped — already completed in the manifest]" in captured.err
+        assert "[broken done in" in captured.err
+        # skipped experiments reprint their manifest-stored tables
+        assert "stub alpha" in captured.out
+
+
+class TestGridExperimentFlags:
+    def test_table4_accepts_supervisor_kwarg(self, monkeypatch, capsys):
+        """The runner passes a supervisor to grid experiments."""
+        seen = {}
+
+        def fake_table4(fast=True, supervisor=None):
+            seen["supervisor"] = supervisor
+            return _table("t4")
+
+        monkeypatch.setitem(runner.EXPERIMENTS, "table4", fake_table4)
+        assert experiments_main(["table4", "--jobs", "1"]) == 0
+        from repro.campaign import CampaignSupervisor
+
+        assert isinstance(seen["supervisor"], CampaignSupervisor)
+        assert seen["supervisor"].jobs == 1
+        assert "stub t4" in capsys.readouterr().out
+
+    def test_flags_reach_the_supervisor(self, monkeypatch):
+        seen = {}
+
+        def fake(fast=True, supervisor=None):
+            seen["supervisor"] = supervisor
+            return _table("x")
+
+        monkeypatch.setitem(runner.EXPERIMENTS, "fig12-14", fake)
+        assert experiments_main([
+            "fig12-14", "--jobs", "3", "--task-timeout", "120",
+            "--max-retries", "4",
+        ]) == 0
+        supervisor = seen["supervisor"]
+        assert supervisor.jobs == 3
+        assert supervisor.task_timeout == 120.0
+        assert supervisor.retry.max_attempts == 5
 
 
 class TestFiguresCli:

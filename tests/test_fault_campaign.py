@@ -15,6 +15,7 @@ import numpy as np
 import pytest
 
 import repro
+from repro.campaign import CampaignSupervisor, CampaignTask, RetryPolicy
 from repro.config import MigrationConfig, SystemConfig
 from repro.errors import TraceError
 from repro.resilience import (
@@ -101,6 +102,56 @@ def test_seeded_fault_scenario(seed, algo):
     again = replay.run(synthetic_trace(n=N_EPOCHS * INTERVAL, seed=seed))
     assert again.total_latency == result.total_latency
     assert again.degradation_events == result.degradation_events
+
+
+def fault_scenario_point(scenario_seed: int, algo: str) -> dict:
+    """One fault scenario as a campaign point (module-level so the
+    supervisor can run it in a worker process)."""
+    cfg = campaign_config(algo)
+    trace = synthetic_trace(n=N_EPOCHS * INTERVAL, seed=scenario_seed)
+    plan = FaultPlan.random(
+        seed=scenario_seed, n_epochs=N_EPOCHS,
+        n_slots=cfg.address_map().n_onpkg_pages, rate=0.6,
+    )
+    sim = repro.EpochSimulator(cfg)
+    sim.attach_faults(plan)
+    result = sim.run(trace)
+    sim.table.check_invariants()
+    return {
+        "n_accesses": int(result.n_accesses),
+        "faults_injected": int(result.faults_injected),
+        "total_latency": float(result.total_latency),
+        "quarantined": bool(result.quarantined),
+    }
+
+
+def test_sweep_under_campaign_supervisor(tmp_path):
+    """The seeded sweep runs as a parallel fault-tolerant campaign: the
+    supervisor fans scenarios out to worker processes, records every
+    point in the manifest, and a re-invocation recomputes nothing."""
+    manifest = tmp_path / "sweep.json"
+    tasks = [
+        CampaignTask(f"fault/{algo}/{seed}", fault_scenario_point, (seed, algo))
+        for algo in ALGOS
+        for seed in range(6)
+    ]
+    supervisor = CampaignSupervisor(
+        jobs=2, task_timeout=300.0,
+        retry=RetryPolicy(max_attempts=2, base_delay=0.1),
+        manifest_path=manifest,
+    )
+    report = supervisor.run(tasks)
+    assert report.ok, [o.error for o in report.failed]
+    assert len(report.completed) == len(tasks)
+
+    # spot-check a point against a direct in-process run
+    direct = fault_scenario_point(3, "N-1")
+    assert report.result("fault/N-1/3") == direct
+
+    # resume: the whole sweep is already in the manifest
+    again = supervisor.run(tasks)
+    assert len(again.skipped) == len(tasks)
+    assert again.result("fault/live/5") == report.result("fault/live/5")
 
 
 @pytest.mark.parametrize("algo", ALGOS)
