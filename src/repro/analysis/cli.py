@@ -1,0 +1,189 @@
+"""``repro-lint`` command line: lint, protocol checker, fault analysis.
+
+Subcommands::
+
+    repro-lint lint [PATHS...]      AST lint over source trees
+    repro-lint protocol             exhaustive swap-protocol model check
+    repro-lint faults               fault-kind -> violated-invariant table
+    repro-lint rules                print the rule catalog
+
+Exit code 0 means clean; 1 means findings / violations; 2 means the
+tool itself could not run (bad arguments, unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..config import MigrationAlgorithm
+from ..errors import AnalysisError
+from .lint import DEFAULT_BASELINE_NAME, Baseline, RULES, run_lint
+from .protocol import check_variant, fault_invariant_analysis
+
+#: CLI spelling -> MigrationAlgorithm constant
+VARIANTS = {
+    "n": MigrationAlgorithm.N,
+    "n-1": MigrationAlgorithm.N_MINUS_1,
+    "live": MigrationAlgorithm.LIVE,
+}
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    baseline = Baseline.load(args.baseline)
+    report = run_lint(
+        args.paths,
+        baseline=baseline,
+        select=args.select or None,
+        disable=args.disable or None,
+        root=args.root,
+    )
+    if args.write_baseline:
+        Baseline.from_findings(report.findings + report.baselined).save(
+            args.baseline
+        )
+        print(
+            f"wrote {args.baseline} "
+            f"({len(report.findings) + len(report.baselined)} entries)"
+        )
+        return 0
+    if args.json:
+        json.dump(report.to_json(), sys.stdout, indent=2)
+        print()
+    else:
+        print(report.format_text(show_baselined=args.show_baselined))
+    if not args.fail_on_new:
+        return 1 if report.parse_errors else 0
+    return report.exit_code
+
+
+def _cmd_protocol(args: argparse.Namespace) -> int:
+    variants = (
+        list(VARIANTS.values())
+        if args.variant == "all"
+        else [VARIANTS[args.variant]]
+    )
+    reports = [
+        check_variant(
+            v,
+            first_subblock=args.first_subblock,
+            max_violations=args.max_violations,
+        )
+        for v in variants
+    ]
+    if args.json:
+        json.dump([r.to_json() for r in reports], sys.stdout, indent=2)
+        print()
+    else:
+        for r in reports:
+            status = "OK" if r.ok else f"FAIL ({len(r.violations)} violation(s))"
+            print(
+                f"{r.variant:>5s}: {r.n_states} states, {r.n_plans} plans, "
+                f"{r.n_runs} runs, {r.n_checks} checks -- {status}"
+            )
+            for v in r.violations:
+                print(v.format())
+    return 0 if all(r.ok for r in reports) else 1
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    impacts = fault_invariant_analysis()
+    if args.json:
+        json.dump(
+            [
+                {
+                    "fault": fi.fault,
+                    "scenario": fi.scenario,
+                    "invariants": list(fi.invariants),
+                    "note": fi.note,
+                }
+                for fi in impacts
+            ],
+            sys.stdout,
+            indent=2,
+        )
+        print()
+    else:
+        for fi in impacts:
+            inv = ", ".join(fi.invariants) if fi.invariants else "none"
+            print(f"{fi.fault}: {fi.scenario}\n  violates: {inv}\n  {fi.note}")
+    return 0
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    for name in sorted(RULES):
+        rule = RULES[name]
+        scope = ""
+        if rule.path_scope:
+            scope = f" [only {', '.join(rule.path_scope)}]"
+        if rule.path_exclude:
+            scope += f" [except {', '.join(rule.path_exclude)}]"
+        print(f"{name} ({rule.severity.value}){scope}: {rule.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="determinism/state-safety lint + protocol model checker",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_lint = sub.add_parser("lint", help="run the AST lint rules")
+    p_lint.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories (default: src)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="machine-readable report on stdout")
+    p_lint.add_argument("--baseline", default=DEFAULT_BASELINE_NAME,
+                        help="baseline file (default: %(default)s)")
+    p_lint.add_argument("--write-baseline", action="store_true",
+                        help="grandfather all current findings and exit 0")
+    p_lint.add_argument("--fail-on-new", default=True,
+                        action=argparse.BooleanOptionalAction,
+                        help="exit 1 when non-baselined findings exist")
+    p_lint.add_argument("--show-baselined", action="store_true",
+                        help="also print grandfathered findings")
+    p_lint.add_argument("--select", action="append", metavar="RULE",
+                        help="run only these rules (repeatable)")
+    p_lint.add_argument("--disable", action="append", metavar="RULE",
+                        help="skip these rules (repeatable)")
+    p_lint.add_argument("--root", default=None,
+                        help="repo root for relative paths in the report")
+    p_lint.set_defaults(func=_cmd_lint)
+
+    p_proto = sub.add_parser(
+        "protocol", help="exhaustively model-check the swap step sequences"
+    )
+    p_proto.add_argument("--variant", choices=[*VARIANTS, "all"],
+                         default="all")
+    p_proto.add_argument("--json", action="store_true")
+    p_proto.add_argument("--first-subblock", type=int, default=0,
+                         help="critical sub-block the Live fill starts at")
+    p_proto.add_argument("--max-violations", type=int, default=10,
+                         help="stop a plan after this many violations")
+    p_proto.set_defaults(func=_cmd_protocol)
+
+    p_faults = sub.add_parser(
+        "faults", help="map injected fault kinds to violated invariants"
+    )
+    p_faults.add_argument("--json", action="store_true")
+    p_faults.set_defaults(func=_cmd_faults)
+
+    p_rules = sub.add_parser("rules", help="print the rule catalog")
+    p_rules.set_defaults(func=_cmd_rules)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except AnalysisError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""``repro-lint``: determinism / state-safety lint engine.
+
+Rule plugins live in :mod:`repro.analysis.lint.rules`; the visitor
+framework in :mod:`~repro.analysis.lint.core`; the driver and baseline
+diffing in :mod:`~repro.analysis.lint.engine` /
+:mod:`~repro.analysis.lint.baseline`.
+"""
+
+from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .core import RULES, FileContext, Finding, LintRule, Severity, register
+from .engine import LintReport, lint_file, resolve_rules, run_lint
+from . import rules as _rules  # noqa: F401  (import registers the rules)
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "FileContext",
+    "Finding",
+    "LintReport",
+    "LintRule",
+    "RULES",
+    "Severity",
+    "lint_file",
+    "register",
+    "resolve_rules",
+    "run_lint",
+]

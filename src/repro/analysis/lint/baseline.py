@@ -1,0 +1,80 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline is a JSON file mapping finding fingerprints to a
+human-auditable record. ``repro-lint --fail-on-new`` (and the default
+run) only fails on findings whose fingerprint is absent, so legacy
+findings can be paid down incrementally while CI blocks regressions.
+This repo's policy is an **empty** baseline: every rule is either fixed
+or carries an inline justification.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from ...errors import AnalysisError
+from .core import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """Fingerprint set with enough context to audit each entry."""
+
+    entries: dict[str, dict] = field(default_factory=dict)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls(
+            entries={
+                f.fingerprint: {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "message": f.message,
+                }
+                for f in findings
+            }
+        )
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "Baseline":
+        try:
+            with open(path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except FileNotFoundError:
+            return cls()
+        except (OSError, json.JSONDecodeError) as exc:
+            raise AnalysisError(f"unreadable baseline {path}: {exc}") from exc
+        if data.get("version") != BASELINE_VERSION:
+            raise AnalysisError(
+                f"baseline {path} has version {data.get('version')!r}, "
+                f"expected {BASELINE_VERSION}"
+            )
+        entries = data.get("findings", {})
+        if not isinstance(entries, dict):
+            raise AnalysisError(f"baseline {path}: 'findings' must be an object")
+        return cls(entries=dict(entries))
+
+    def save(self, path: str | os.PathLike) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": {
+                fp: self.entries[fp] for fp in sorted(self.entries)
+            },
+        }
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)

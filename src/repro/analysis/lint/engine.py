@@ -1,0 +1,156 @@
+"""The lint driver: walk files, run rules, diff against the baseline.
+
+``run_lint`` is the single entry point the CLI and tests share. It
+returns a :class:`LintReport` carrying every finding partitioned into
+*new* vs *baselined*, plus the counts needed for the JSON summary; the
+exit-code policy (fail when any new finding exists) lives here so CI
+and local runs can never disagree.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from ...errors import AnalysisError
+from .baseline import Baseline
+from .core import RULES, FileContext, Finding, LintRule
+
+#: directories never descended into
+_SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", ".hypothesis", "build"}
+
+
+def iter_python_files(paths: list[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            out.add(path)
+        elif os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs if d not in _SKIP_DIRS)
+                for name in files:
+                    if name.endswith(".py"):
+                        out.add(os.path.join(root, name))
+        else:
+            raise AnalysisError(f"no such file or directory: {path}")
+    return sorted(out)
+
+
+def _relpath(path: str, root: str | None) -> str:
+    rel = os.path.relpath(path, root) if root else path
+    return rel.replace(os.sep, "/")
+
+
+def resolve_rules(
+    select: list[str] | None = None, disable: list[str] | None = None
+) -> list[type[LintRule]]:
+    """The rule classes to run, after ``--select`` / ``--disable``."""
+    for name in (select or []) + (disable or []):
+        if name not in RULES:
+            raise AnalysisError(
+                f"unknown rule {name!r}; available: {', '.join(sorted(RULES))}"
+            )
+    names = set(select) if select else set(RULES)
+    names -= set(disable or [])
+    return [RULES[n] for n in sorted(names)]
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)   # new findings
+    baselined: list[Finding] = field(default_factory=list)
+    parse_errors: list[tuple[str, str]] = field(default_factory=list)
+    n_files: int = 0
+    rules_run: list[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings or self.parse_errors else 0
+
+    def summary(self) -> dict:
+        by_rule: dict[str, int] = {}
+        for f in self.findings:
+            by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+        return {
+            "files": self.n_files,
+            "new": len(self.findings),
+            "baselined": len(self.baselined),
+            "parse_errors": len(self.parse_errors),
+            "by_rule": dict(sorted(by_rule.items())),
+        }
+
+    def to_json(self) -> dict:
+        return {
+            "version": 1,
+            "tool": "repro-lint",
+            "rules": list(self.rules_run),
+            "findings": [f.to_json() for f in self.findings],
+            "baselined": [f.to_json() for f in self.baselined],
+            "parse_errors": [
+                {"path": p, "message": m} for p, m in self.parse_errors
+            ],
+            "summary": self.summary(),
+        }
+
+    def format_text(self, *, show_baselined: bool = False) -> str:
+        lines = [f.format() for f in sorted(
+            self.findings, key=lambda f: (f.path, f.line, f.rule)
+        )]
+        if show_baselined and self.baselined:
+            lines.append("-- baselined (grandfathered) --")
+            lines.extend(f.format() for f in self.baselined)
+        for path, message in self.parse_errors:
+            lines.append(f"{path}:1:1: error [parse] {message}")
+        s = self.summary()
+        lines.append(
+            f"repro-lint: {s['files']} files, {s['new']} new finding(s), "
+            f"{s['baselined']} baselined, {s['parse_errors']} parse error(s)"
+        )
+        return "\n".join(lines)
+
+
+def lint_file(
+    path: str,
+    rules: list[type[LintRule]],
+    *,
+    root: str | None = None,
+    source: str | None = None,
+) -> list[Finding]:
+    """Run ``rules`` over one file; returns (possibly empty) findings."""
+    rel = _relpath(path, root)
+    if source is None:
+        with open(path, encoding="utf-8") as fh:
+            source = fh.read()
+    ctx = FileContext.parse(rel, source)
+    findings: list[Finding] = []
+    for rule_cls in rules:
+        if rule_cls.applies_to(rel):
+            findings.extend(rule_cls(ctx).run())
+    return findings
+
+
+def run_lint(
+    paths: list[str],
+    *,
+    baseline: Baseline | None = None,
+    select: list[str] | None = None,
+    disable: list[str] | None = None,
+    root: str | None = None,
+) -> LintReport:
+    """Lint ``paths`` (files or directories) and diff against ``baseline``."""
+    rules = resolve_rules(select, disable)
+    baseline = baseline or Baseline()
+    report = LintReport(rules_run=[r.name for r in rules])
+    for path in iter_python_files(paths):
+        report.n_files += 1
+        try:
+            found = lint_file(path, rules, root=root)
+        except SyntaxError as exc:
+            report.parse_errors.append((_relpath(path, root), str(exc)))
+            continue
+        for f in found:
+            (report.baselined if f in baseline else report.findings).append(f)
+    return report

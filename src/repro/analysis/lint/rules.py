@@ -1,0 +1,342 @@
+"""The repo-specific determinism / state-safety rules.
+
+Every rule here guards a property the resilience and campaign layers
+rely on: bit-identical replay (no wall-clock, no unseeded RNG, no
+unordered iteration feeding results), checkpoint symmetry
+(``state_dict``/``load_state_dict`` pairs), exact-compare hygiene in
+metrics code, and narrow exception handling in the fault-tolerant
+layers where a swallowed error means silent data loss.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import FileContext, LintRule, Severity, dotted_call_name, register
+
+# ----------------------------------------------------------------------
+# wall-clock
+# ----------------------------------------------------------------------
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.localtime",
+    "time.ctime",
+    "time.gmtime",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "date.today",
+}
+
+
+@register
+class WallClockRule(LintRule):
+    """Wall-clock reads make simulated results differ run to run.
+
+    Simulation and analysis code must use simulated time or, for
+    profiling, ``time.perf_counter``/``time.monotonic`` (never fed into
+    results). The campaign supervisor is excluded: it legitimately
+    enforces real-world deadlines on worker processes.
+    """
+
+    name = "wall-clock"
+    severity = Severity.ERROR
+    description = "wall-clock call (time.time / datetime.now) in a simulation path"
+    path_exclude = ("campaign/",)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = dotted_call_name(node.func)
+        if dotted in _WALL_CLOCK_CALLS:
+            self.report(
+                node,
+                f"wall-clock call {dotted}() in a simulation path; use simulated "
+                "time, or perf_counter/monotonic for profiling-only output",
+            )
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# unseeded-rng
+# ----------------------------------------------------------------------
+_STDLIB_GLOBAL_RNG = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "betavariate",
+    "expovariate", "triangular", "getrandbits", "seed", "vonmisesvariate",
+}
+_NUMPY_LEGACY_RNG = {
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "choice", "shuffle", "permutation", "seed", "uniform", "normal",
+    "standard_normal", "poisson", "binomial", "exponential", "bytes",
+}
+
+
+@register
+class UnseededRngRule(LintRule):
+    """Global or unseeded RNG breaks seeded-replay determinism.
+
+    Flags the ``random`` module's global functions, numpy's legacy
+    ``np.random.*`` global-state API, and ``Random()`` /
+    ``default_rng()`` / ``RandomState()`` constructed without a seed.
+    Seeded generator objects (``np.random.default_rng(seed)``,
+    ``random.Random(seed)``) are the sanctioned idiom.
+    """
+
+    name = "unseeded-rng"
+    severity = Severity.ERROR
+    description = "global/unseeded random number generation"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = dotted_call_name(node.func)
+        if dotted:
+            self._check(node, dotted)
+        self.generic_visit(node)
+
+    def _check(self, node: ast.Call, dotted: str) -> None:
+        parts = dotted.split(".")
+        unseeded = not node.args and not any(
+            kw.arg in ("seed", "x") for kw in node.keywords
+        )
+        if parts[0] == "random" and len(parts) == 2:
+            if parts[1] in _STDLIB_GLOBAL_RNG:
+                self.report(
+                    node,
+                    f"{dotted}() uses the process-global RNG; use a seeded "
+                    "random.Random(seed) instance",
+                )
+            elif parts[1] == "Random" and unseeded:
+                self.report(node, "random.Random() without a seed")
+        elif len(parts) >= 2 and parts[-2] == "random" and parts[0] in ("np", "numpy"):
+            if parts[-1] in _NUMPY_LEGACY_RNG:
+                self.report(
+                    node,
+                    f"{dotted}() uses numpy's legacy global RNG; use "
+                    "np.random.default_rng(seed)",
+                )
+            elif parts[-1] in ("default_rng", "RandomState") and unseeded:
+                self.report(node, f"{dotted}() without a seed")
+        elif parts[-1] in ("default_rng", "RandomState") and unseeded:
+            self.report(node, f"{dotted}() without a seed")
+
+
+# ----------------------------------------------------------------------
+# float-equality
+# ----------------------------------------------------------------------
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+@register
+class FloatEqualityRule(LintRule):
+    """Exact ``==``/``!=`` against a float literal in stats/metrics code.
+
+    Accumulated floating-point metrics rarely compare exactly equal;
+    such comparisons silently change behaviour across platforms and
+    optimisation levels. Compare with a tolerance (``math.isclose``) or
+    restructure around an ordered comparison.
+    """
+
+    name = "float-equality"
+    severity = Severity.WARNING
+    description = "exact == / != comparison with a float"
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[i], operands[i + 1]
+            if _is_float_literal(left) or _is_float_literal(right):
+                self.report(
+                    node,
+                    "exact float comparison; use math.isclose or an "
+                    "ordered comparison (<=, >=)",
+                )
+                break
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# unordered-iteration
+# ----------------------------------------------------------------------
+_ORDER_INSENSITIVE_CONSUMERS = {
+    "sorted", "sum", "len", "min", "max", "any", "all", "set", "frozenset",
+}
+_SET_METHODS = {"intersection", "union", "difference", "symmetric_difference"}
+
+
+@register
+class UnorderedIterationRule(LintRule):
+    """Iterating a ``set``/``frozenset`` yields a run-dependent order.
+
+    Set iteration order depends on insertion history and hash
+    randomisation; when such a loop feeds results, RNG draws, or output
+    rows, replays diverge. Wrap the iterable in ``sorted(...)`` (or
+    consume it order-insensitively). Tracks names assigned set values
+    within the enclosing scope, so ``s = {...}; for x in s`` is caught.
+    """
+
+    name = "unordered-iteration"
+    severity = Severity.WARNING
+    description = "iteration over an unordered set/frozenset"
+
+    def __init__(self, ctx: FileContext):
+        super().__init__(ctx)
+        self._scopes: list[dict[str, bool]] = [{}]
+        self._exempt: set[int] = set()
+
+    # -- scope handling -------------------------------------------------
+    def _push_scope(self, node: ast.AST) -> None:
+        self._scopes.append({})
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    visit_FunctionDef = _push_scope
+    visit_AsyncFunctionDef = _push_scope
+    visit_ClassDef = _push_scope
+
+    def _is_setish(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SET_METHODS
+                and self._is_setish(node.func.value)
+            ):
+                return True
+        if isinstance(node, ast.Name):
+            for scope in reversed(self._scopes):
+                if node.id in scope:
+                    return scope[node.id]
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        setish = self._is_setish(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self._scopes[-1][target.id] = setish
+        self.generic_visit(node)
+
+    # -- exemptions: comprehensions consumed order-insensitively --------
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id in _ORDER_INSENSITIVE_CONSUMERS:
+            for arg in node.args:
+                if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+                    self._exempt.add(id(arg))
+        self.generic_visit(node)
+
+    # -- the checks -----------------------------------------------------
+    def _flag(self, node: ast.AST, where: str) -> None:
+        self.report(
+            node,
+            f"iteration over an unordered set in {where}; wrap in sorted(...) "
+            "so replays and result ordering are deterministic",
+        )
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_setish(node.iter):
+            self._flag(node, "a for loop")
+        self.generic_visit(node)
+
+    def _visit_comp(self, node: ast.AST, kind: str) -> None:
+        if id(node) not in self._exempt:
+            for gen in node.generators:
+                if self._is_setish(gen.iter):
+                    self._flag(node, kind)
+                    break
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comp(node, "a list comprehension")
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comp(node, "a generator expression")
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comp(node, "a dict comprehension")
+
+
+# ----------------------------------------------------------------------
+# state-dict-symmetry
+# ----------------------------------------------------------------------
+@register
+class StateDictSymmetryRule(LintRule):
+    """A checkpointable class must define both halves of the pair.
+
+    ``state_dict()`` without ``load_state_dict()`` (or vice versa)
+    means checkpoints are written that can never be restored — the
+    resilience layer's resume path would fail at the first boundary.
+    Classes with (non-``object``) bases are skipped: the partner may be
+    inherited.
+    """
+
+    name = "state-dict-symmetry"
+    severity = Severity.ERROR
+    description = "state_dict without load_state_dict (or vice versa)"
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        bases = [b.id for b in node.bases if isinstance(b, ast.Name)]
+        if not node.bases or bases == ["object"]:
+            methods = {
+                item.name
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            has_save = "state_dict" in methods
+            has_load = "load_state_dict" in methods
+            if has_save != has_load:
+                missing = "load_state_dict" if has_save else "state_dict"
+                present = "state_dict" if has_save else "load_state_dict"
+                self.report(
+                    node,
+                    f"class {node.name} defines {present} but not {missing}; "
+                    "checkpoints must round-trip",
+                )
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# broad-except
+# ----------------------------------------------------------------------
+@register
+class BroadExceptRule(LintRule):
+    """Bare/over-broad ``except`` in the fault-tolerance layers.
+
+    ``campaign/`` and ``resilience/`` exist to classify failures;
+    a blanket handler there converts a specific, retryable error into
+    an undiagnosable one. Catch the concrete exception types, or
+    suppress inline at a deliberate crash-isolation boundary.
+    """
+
+    name = "broad-except"
+    severity = Severity.WARNING
+    description = "bare or over-broad except in campaign/ or resilience/"
+    path_scope = ("campaign/", "resilience/")
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(node, "bare except: catches everything, including "
+                              "KeyboardInterrupt; name the exception types")
+        else:
+            names = []
+            types = node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+            for t in types:
+                if isinstance(t, ast.Name):
+                    names.append(t.id)
+            broad = [n for n in names if n in ("Exception", "BaseException")]
+            if broad:
+                self.report(
+                    node,
+                    f"except {', '.join(broad)} in a fault-classification layer; "
+                    "catch the concrete retryable types",
+                )
+        self.generic_visit(node)

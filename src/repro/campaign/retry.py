@@ -127,7 +127,7 @@ class RetryPolicy:
         if attempt < 1:
             return 0.0
         raw = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
-        if self.jitter_fraction == 0.0 or raw == 0.0:
+        if self.jitter_fraction <= 0.0 or raw <= 0.0:
             return raw
         rng = random.Random(
             _stable_int(self.seed, zlib.crc32(task_key.encode()), attempt)
@@ -169,7 +169,7 @@ class RetryPolicy:
         for attempt in range(1, self.max_attempts + 1):
             try:
                 return fn(*args, **kwargs), attempt
-            except Exception as exc:
+            except Exception as exc:  # repro-lint: disable=broad-except - retryability is classified below
                 if not self.is_retryable(exc) or attempt == self.max_attempts:
                     raise
                 delay = self.backoff(attempt, task_key)

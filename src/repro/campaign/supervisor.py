@@ -159,7 +159,7 @@ def _worker_entry(conn, fn, args, kwargs, heartbeat_interval):
     try:
         result = fn(*args, **kwargs)
         message = ("ok", result)
-    except BaseException as exc:  # noqa: BLE001 - ships to the supervisor
+    except BaseException as exc:  # noqa: BLE001  # repro-lint: disable=broad-except - crash-isolation boundary, ships to the supervisor
         message = ("err", exc)
     stop.set()
     try:
@@ -284,7 +284,7 @@ class CampaignSupervisor:
                 result, _ = self.retry.call(
                     attempt_once, clock=self.clock, task_key=task.task_id
                 )
-            except Exception as exc:  # noqa: BLE001 - recorded, not fatal
+            except Exception as exc:  # noqa: BLE001  # repro-lint: disable=broad-except - recorded in the manifest, not fatal
                 duration = self.clock.monotonic() - started
                 error = f"{type(exc).__name__}: {exc}"
                 manifest.mark_failed(task.task_id, error, duration)

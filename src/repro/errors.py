@@ -92,3 +92,13 @@ class TaskTimeoutError(CampaignError):
     worker stops heartbeating for longer than the heartbeat timeout.
     The supervisor kills the worker; the task is retried per policy.
     """
+
+
+class AnalysisError(ReproError):
+    """Static-analysis tooling failure (repro-lint, protocol checker).
+
+    Raised for unusable inputs — an unparseable baseline file, an
+    unknown rule name, a malformed swap plan handed to the model
+    checker — never for findings or invariant violations, which are
+    reported as data so callers can render counterexample traces.
+    """

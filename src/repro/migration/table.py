@@ -191,6 +191,7 @@ class TranslationTable:
         slot = self._filling_slot
         page = self._fill_page
         self.f_bit[slot] = False
+        self.fill_bitmap[:] = False
         self._filling_slot = None
         self._fill_page = None
         self._fill_source = None

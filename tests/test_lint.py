@@ -1,0 +1,303 @@
+"""The repro-lint engine: rules, suppressions, baseline, JSON schema."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.lint import (
+    RULES,
+    Baseline,
+    FileContext,
+    Finding,
+    Severity,
+    lint_file,
+    resolve_rules,
+    run_lint,
+)
+from repro.errors import AnalysisError
+
+SIM_PATH = "src/repro/simulator/example.py"
+
+
+def findings_for(source, path=SIM_PATH, select=None):
+    rules = resolve_rules(select=select)
+    return lint_file(path, rules, source=textwrap.dedent(source))
+
+
+def rule_names(findings):
+    return sorted({f.rule for f in findings})
+
+
+# ----------------------------------------------------------------------
+# one seeded synthetic violation per rule (the acceptance criterion)
+# ----------------------------------------------------------------------
+class TestRules:
+    def test_wall_clock_flagged(self):
+        found = findings_for(
+            """
+            import time
+            stamp = time.time()
+            """
+        )
+        assert rule_names(found) == ["wall-clock"]
+        assert found[0].severity is Severity.ERROR
+        assert found[0].line == 3
+
+    def test_datetime_now_flagged(self):
+        found = findings_for(
+            """
+            import datetime
+            a = datetime.datetime.now()
+            b = datetime.date.today()
+            """
+        )
+        assert len(found) == 2
+        assert rule_names(found) == ["wall-clock"]
+
+    def test_wall_clock_allowed_in_campaign(self):
+        found = findings_for(
+            "import time\nt = time.time()\n",
+            path="src/repro/campaign/supervisor.py",
+        )
+        assert not [f for f in found if f.rule == "wall-clock"]
+
+    def test_monotonic_not_flagged(self):
+        assert not findings_for("import time\nt = time.monotonic()\n")
+
+    def test_unseeded_rng_flagged(self):
+        found = findings_for(
+            """
+            import random
+            import numpy as np
+            a = random.random()
+            b = np.random.rand(3)
+            rng = np.random.default_rng()
+            r = random.Random()
+            """
+        )
+        assert rule_names(found) == ["unseeded-rng"]
+        assert len(found) == 4
+
+    def test_seeded_rng_clean(self):
+        assert not findings_for(
+            """
+            import random
+            import numpy as np
+            rng = np.random.default_rng(42)
+            r = random.Random(7)
+            s = np.random.default_rng(seed=0)
+            """
+        )
+
+    def test_float_equality_flagged(self):
+        found = findings_for(
+            """
+            def hit_rate(x):
+                if x == 0.5:
+                    return True
+                return x != -1.0
+            """
+        )
+        assert rule_names(found) == ["float-equality"]
+        assert len(found) == 2
+        assert found[0].severity is Severity.WARNING
+
+    def test_int_equality_clean(self):
+        assert not findings_for("ok = 1 == 1\nother = x == 5\n")
+
+    def test_unordered_iteration_flagged(self):
+        found = findings_for(
+            """
+            pages = {1, 2, 3}
+            for p in pages:
+                emit(p)
+            rows = [f(x) for x in {4, 5}]
+            """
+        )
+        assert rule_names(found) == ["unordered-iteration"]
+        assert len(found) == 2
+
+    def test_sorted_and_reductions_clean(self):
+        assert not findings_for(
+            """
+            pages = {1, 2, 3}
+            for p in sorted(pages):
+                emit(p)
+            total = sum(x for x in {4, 5})
+            """
+        )
+
+    def test_state_dict_symmetry_flagged(self):
+        found = findings_for(
+            """
+            class Broken:
+                def state_dict(self):
+                    return {}
+            """
+        )
+        assert rule_names(found) == ["state-dict-symmetry"]
+        assert "load_state_dict" in found[0].message
+
+    def test_state_dict_pair_and_subclass_clean(self):
+        assert not findings_for(
+            """
+            class Good:
+                def state_dict(self):
+                    return {}
+                def load_state_dict(self, state):
+                    pass
+
+            class Sub(Base):
+                def state_dict(self):
+                    return {}
+            """
+        )
+
+    def test_broad_except_flagged_in_scope(self):
+        src = """
+        try:
+            work()
+        except Exception:
+            pass
+        try:
+            work()
+        except:
+            pass
+        """
+        found = findings_for(src, path="src/repro/resilience/faults.py")
+        assert rule_names(found) == ["broad-except"]
+        assert len(found) == 2
+        # same code outside campaign/resilience is not in scope
+        assert not findings_for(src, path=SIM_PATH)
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_inline_disable(self):
+        assert not findings_for(
+            "import time\nt = time.time()  # repro-lint: disable=wall-clock\n"
+        )
+
+    def test_disable_all(self):
+        assert not findings_for(
+            "import time\nt = time.time()  # repro-lint: disable=all\n"
+        )
+
+    def test_disable_wrong_rule_keeps_finding(self):
+        found = findings_for(
+            "import time\nt = time.time()  # repro-lint: disable=unseeded-rng\n"
+        )
+        assert rule_names(found) == ["wall-clock"]
+
+    def test_marker_after_other_annotations(self):
+        assert not findings_for(
+            "import time\n"
+            "t = time.time()  # noqa: X100  # repro-lint: disable=wall-clock - profiling\n"
+        )
+
+    def test_marker_inside_string_ignored(self):
+        found = findings_for(
+            'import time\nt = time.time(); s = "# repro-lint: disable=all"\n'
+        )
+        assert rule_names(found) == ["wall-clock"]
+
+    def test_comma_separated_rules(self):
+        assert not findings_for(
+            "import time, random\n"
+            "t = time.time() + random.random()"
+            "  # repro-lint: disable=wall-clock,unseeded-rng\n"
+        )
+
+
+# ----------------------------------------------------------------------
+# baseline round-trip + engine behaviour
+# ----------------------------------------------------------------------
+BAD_SOURCE = "import time\n\n\ndef stamp():\n    return time.time()\n"
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        findings = findings_for(BAD_SOURCE)
+        base = Baseline.from_findings(findings)
+        path = tmp_path / "baseline.json"
+        base.save(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == len(findings) == 1
+        assert all(f in loaded for f in findings)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "absent.json")) == 0
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": {}}))
+        with pytest.raises(AnalysisError):
+            Baseline.load(path)
+
+    def test_fingerprint_survives_line_shift(self):
+        shifted = "\n\n\n" + BAD_SOURCE
+        a = findings_for(BAD_SOURCE)[0]
+        b = findings_for(shifted)[0]
+        assert a.line != b.line
+        assert a.fingerprint == b.fingerprint
+
+    def test_baselined_findings_do_not_fail(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "simulator"
+        target.mkdir(parents=True)
+        (target / "bad.py").write_text(BAD_SOURCE)
+        report = run_lint([str(tmp_path)], root=str(tmp_path))
+        assert report.exit_code == 1 and len(report.findings) == 1
+
+        base = Baseline.from_findings(report.findings)
+        again = run_lint([str(tmp_path)], baseline=base, root=str(tmp_path))
+        assert again.exit_code == 0
+        assert not again.findings and len(again.baselined) == 1
+
+
+class TestEngine:
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(AnalysisError):
+            resolve_rules(select=["no-such-rule"])
+        with pytest.raises(AnalysisError):
+            resolve_rules(disable=["no-such-rule"])
+
+    def test_select_and_disable(self):
+        only = resolve_rules(select=["wall-clock"])
+        assert [r.name for r in only] == ["wall-clock"]
+        rest = resolve_rules(disable=["wall-clock"])
+        assert "wall-clock" not in [r.name for r in rest]
+        assert len(rest) == len(RULES) - 1
+
+    def test_missing_path_rejected(self):
+        with pytest.raises(AnalysisError):
+            run_lint(["/no/such/path"])
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        report = run_lint([str(tmp_path)], root=str(tmp_path))
+        assert report.exit_code == 1
+        assert report.parse_errors and not report.findings
+
+    def test_json_schema(self, tmp_path):
+        (tmp_path / "bad.py").write_text(BAD_SOURCE)
+        report = run_lint([str(tmp_path)], root=str(tmp_path))
+        data = json.loads(json.dumps(report.to_json()))
+        assert set(data) == {
+            "version", "tool", "rules", "findings", "baselined",
+            "parse_errors", "summary",
+        }
+        assert data["tool"] == "repro-lint"
+        assert sorted(data["rules"]) == sorted(RULES)
+        (finding,) = data["findings"]
+        assert set(finding) == {
+            "rule", "severity", "path", "line", "col", "message", "fingerprint",
+        }
+        assert data["summary"]["new"] == 1
+        assert data["summary"]["by_rule"] == {"wall-clock": 1}
+
+    def test_repo_source_tree_is_clean(self):
+        report = run_lint(["src"], root=".")
+        assert report.exit_code == 0, report.format_text()

@@ -1,0 +1,105 @@
+"""The ``repro-lint`` command line (lint / protocol / faults / rules)."""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.analysis.lint import RULES
+
+BAD_SOURCE = "import time\n\n\ndef stamp():\n    return time.time()\n"
+GOOD_SOURCE = "import time\n\n\ndef tick():\n    return time.monotonic()\n"
+
+
+@pytest.fixture
+def tree(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "simulator"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(BAD_SOURCE)
+    (pkg / "good.py").write_text(GOOD_SOURCE)
+    return tmp_path
+
+
+def run(args):
+    return main([str(a) for a in args])
+
+
+class TestLintCommand:
+    def test_clean_tree_exits_zero(self, tree, capsys):
+        assert run(["lint", tree / "src" / "repro" / "simulator" / "good.py",
+                    "--baseline", tree / "b.json"]) == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_violation_exits_nonzero(self, tree, capsys):
+        code = run(["lint", tree, "--root", tree, "--baseline", tree / "b.json"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "wall-clock" in out and "bad.py:5" in out
+
+    def test_no_fail_on_new(self, tree):
+        assert run(["lint", tree, "--baseline", tree / "b.json",
+                    "--no-fail-on-new"]) == 0
+
+    def test_json_output(self, tree, capsys):
+        run(["lint", tree, "--root", tree, "--baseline", tree / "b.json",
+             "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert data["tool"] == "repro-lint"
+        assert data["summary"]["new"] == 1
+
+    def test_write_baseline_then_clean(self, tree, capsys):
+        baseline = tree / "b.json"
+        assert run(["lint", tree, "--root", tree, "--baseline", baseline,
+                    "--write-baseline"]) == 0
+        assert "1 entries" in capsys.readouterr().out
+        assert run(["lint", tree, "--root", tree, "--baseline", baseline]) == 0
+
+    def test_select_skips_other_rules(self, tree):
+        assert run(["lint", tree, "--baseline", tree / "b.json",
+                    "--select", "unseeded-rng"]) == 0
+
+    def test_unknown_rule_is_usage_error(self, tree, capsys):
+        assert run(["lint", tree, "--select", "bogus",
+                    "--baseline", tree / "b.json"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        assert run(["lint", tmp_path / "absent",
+                    "--baseline", tmp_path / "b.json"]) == 2
+
+
+class TestProtocolCommand:
+    def test_variant_n_ok(self, capsys):
+        assert run(["protocol", "--variant", "n"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        assert run(["protocol", "--variant", "n", "--json"]) == 0
+        (report,) = json.loads(capsys.readouterr().out)
+        assert report["variant"] == "N"
+        assert report["ok"] is True and report["violations"] == []
+
+
+class TestFaultsCommand:
+    def test_table_lists_every_fault(self, capsys):
+        assert run(["faults"]) == 0
+        out = capsys.readouterr().out
+        for fault in ("stuck-p-bit", "stuck-f-bit", "bitmap-corruption",
+                      "abort-swap", "dram-transient"):
+            assert fault in out
+
+    def test_json_output(self, capsys):
+        assert run(["faults", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert all(
+            set(row) == {"fault", "scenario", "invariants", "note"}
+            for row in data
+        )
+
+
+class TestRulesCommand:
+    def test_catalog_lists_every_rule(self, capsys):
+        assert run(["rules"]) == 0
+        out = capsys.readouterr().out
+        for name in RULES:
+            assert name in out

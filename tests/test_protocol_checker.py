@@ -1,0 +1,217 @@
+"""The exhaustive swap-protocol model checker (repro.analysis.protocol).
+
+The headline assertions mirror the paper's Section III-A claim: for
+every reachable table state and every legal (MRU, LRU) pair, the
+declarative step sequences keep every access resolvable at every step
+boundary — and a deliberately mis-ordered plan is rejected with a
+step-indexed counterexample.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.protocol import (
+    ALL_INVARIANTS,
+    QUIESCENCE,
+    STALL_ONLY_N,
+    VALID_COPY,
+    candidate_pairs,
+    check_plan,
+    check_variant,
+    fault_invariant_analysis,
+    model_address_map,
+    reachable_states,
+)
+from repro.config import MigrationAlgorithm
+from repro.errors import AnalysisError
+from repro.migration.algorithms import CopyStep, TableUpdate, build_swap_steps
+from repro.migration.table import TranslationTable
+from repro.resilience.faults import FaultKind
+
+AMAP = model_address_map()
+
+
+def fresh_table() -> TranslationTable:
+    return TranslationTable(AMAP, reserve_empty_slot=True)
+
+
+# ----------------------------------------------------------------------
+# the unmodified protocol verifies clean, exhaustively
+# ----------------------------------------------------------------------
+class TestProtocolClean:
+    def test_basic_n_verifies(self):
+        r = check_variant(MigrationAlgorithm.N)
+        assert r.ok, "\n".join(v.format() for v in r.violations)
+        assert r.n_states > 1 and r.n_plans > 0 and r.n_checks > 0
+
+    def test_n_minus_1_verifies(self):
+        r = check_variant(MigrationAlgorithm.N_MINUS_1)
+        assert r.ok, "\n".join(v.format() for v in r.violations)
+        # the write sweep must actually run (non-stalling design)
+        assert r.n_runs > r.n_plans
+
+    def test_live_migration_verifies(self):
+        r = check_variant(MigrationAlgorithm.LIVE)
+        assert r.ok, "\n".join(v.format() for v in r.violations)
+        # Live interleaves at sub-block granularity: strictly more runs
+        # than N-1 over the same closure
+        assert r.n_runs > r.n_plans
+
+    def test_live_wrapped_fill_start_verifies(self):
+        # the critical (demanded) sub-block is filled first; a wrapped
+        # start order must be just as safe
+        r = check_variant(
+            MigrationAlgorithm.LIVE, first_subblock=2, max_states=6
+        )
+        assert r.ok, "\n".join(v.format() for v in r.violations)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(AnalysisError):
+            check_variant("n+1")
+
+    def test_report_json_schema(self):
+        r = check_variant(MigrationAlgorithm.N, max_states=3)
+        data = r.to_json()
+        assert set(data) == {
+            "variant", "states", "plans", "runs", "checks", "ok", "violations",
+        }
+        assert data["variant"] == MigrationAlgorithm.N
+        assert data["ok"] is True and data["violations"] == []
+
+
+class TestStateEnumeration:
+    def test_closure_is_finite_and_reaches_migrated_states(self):
+        states = reachable_states(AMAP, variant=MigrationAlgorithm.N_MINUS_1)
+        assert 1 < len(states) < 200
+        # every state yields at least one legal swap
+        for state in states:
+            t = fresh_table()
+            t.load_state_dict(state)
+            assert candidate_pairs(t)
+
+
+# ----------------------------------------------------------------------
+# satellite: a mis-ordered plan is rejected with a counterexample
+# ----------------------------------------------------------------------
+def _mutate_commit_before_copy(plan):
+    """Move the table update that follows the incoming copy to *before*
+    it — committing the new mapping while the slot still holds garbage."""
+    steps = list(plan.steps)
+    idx = next(
+        i for i, s in enumerate(steps)
+        if isinstance(s, CopyStep) and s.incoming
+    )
+    jdx = next(
+        j for j in range(idx + 1, len(steps))
+        if isinstance(steps[j], TableUpdate)
+    )
+    update = steps.pop(jdx)
+    steps.insert(idx, update)
+    return dataclasses.replace(plan, steps=tuple(steps))
+
+
+class TestMutatedPlanRejected:
+    def test_commit_before_copy_violates_valid_copy(self):
+        t = fresh_table()
+        mru, lru = candidate_pairs(t)[0]
+        plan = build_swap_steps(fresh_table(), mru, lru)
+        bad = _mutate_commit_before_copy(plan)
+        assert bad.steps != plan.steps
+
+        res = check_plan(fresh_table, bad, variant=MigrationAlgorithm.N_MINUS_1)
+        assert not res.ok
+        assert any(v.invariant == VALID_COPY for v in res.violations)
+
+    def test_counterexample_is_step_indexed(self):
+        t = fresh_table()
+        mru, lru = candidate_pairs(t)[0]
+        bad = _mutate_commit_before_copy(build_swap_steps(t, mru, lru))
+        res = check_plan(fresh_table, bad, variant=MigrationAlgorithm.N_MINUS_1)
+        v = next(v for v in res.violations if v.invariant == VALID_COPY)
+        assert v.boundary >= 0 and v.step_index >= 0
+        assert v.step_label
+        assert v.trace, "counterexample must carry the executed-step trace"
+        text = v.format()
+        assert f"[{VALID_COPY}]" in text
+        assert "boundary" in text and "trace" in text
+
+    def test_unmutated_plan_from_same_state_passes(self):
+        t = fresh_table()
+        mru, lru = candidate_pairs(t)[0]
+        plan = build_swap_steps(fresh_table(), mru, lru)
+        res = check_plan(fresh_table, plan, variant=MigrationAlgorithm.N_MINUS_1)
+        assert res.ok, "\n".join(v.format() for v in res.violations)
+
+    def test_stalling_plan_rejected_outside_n(self):
+        t = fresh_table()
+        mru, lru = candidate_pairs(t)[0]
+        plan = build_swap_steps(fresh_table(), mru, lru)
+        stalled = dataclasses.replace(plan, stall=True)
+        res = check_plan(
+            fresh_table, stalled, variant=MigrationAlgorithm.N_MINUS_1
+        )
+        assert any(v.invariant == STALL_ONLY_N for v in res.violations)
+
+
+# ----------------------------------------------------------------------
+# satellite: fault kinds -> violated invariants
+# ----------------------------------------------------------------------
+class TestFaultImpacts:
+    @pytest.fixture(scope="class")
+    def impacts(self):
+        return {
+            (fi.fault, fi.scenario): fi for fi in fault_invariant_analysis()
+        }
+
+    def test_every_fault_kind_analysed(self, impacts):
+        analysed = {fault for fault, _ in impacts}
+        assert analysed == {k.value for k in FaultKind}
+
+    def test_invariant_names_are_stable(self, impacts):
+        for fi in impacts.values():
+            assert set(fi.invariants) <= set(ALL_INVARIANTS)
+
+    def test_stuck_p_bit_breaks_resolution_and_audit(self, impacts):
+        (fi,) = [
+            fi for fi in impacts.values()
+            if fi.fault == FaultKind.STUCK_P_BIT.value
+        ]
+        assert set(fi.invariants) == {VALID_COPY, QUIESCENCE}
+
+    def test_stuck_f_bit_only_fails_audit(self, impacts):
+        (fi,) = [
+            fi for fi in impacts.values()
+            if fi.fault == FaultKind.STUCK_F_BIT.value
+        ]
+        assert fi.invariants == (QUIESCENCE,)
+
+    def test_bitmap_corruption_serves_stale_subblock(self, impacts):
+        (fi,) = [
+            fi for fi in impacts.values()
+            if fi.fault == FaultKind.BITMAP_CORRUPTION.value
+        ]
+        assert "stale-subblock" in fi.invariants
+
+    def test_abort_scenarios(self, impacts):
+        aborts = {
+            fi.scenario: fi for fi in impacts.values()
+            if fi.fault == FaultKind.ABORT_SWAP.value
+        }
+        assert len(aborts) == 3
+        torn = next(fi for s, fi in aborts.items() if "torn" in s)
+        # the paper's promise: even torn, every access still resolves
+        assert torn.invariants == (QUIESCENCE,)
+        early = next(fi for s, fi in aborts.items() if "before" in s)
+        assert early.invariants == ()
+        late = next(fi for s, fi in aborts.items() if "after" in s)
+        # bare table rollback after the Ω-resolution copy re-routes the
+        # incoming page to its overwritten old home
+        assert late.invariants == (VALID_COPY,)
+
+    def test_dram_transient_out_of_scope(self, impacts):
+        (fi,) = [
+            fi for fi in impacts.values()
+            if fi.fault == FaultKind.DRAM_TRANSIENT.value
+        ]
+        assert fi.invariants == ()

@@ -159,6 +159,21 @@ class TestFill:
         with pytest.raises(TranslationTableError):
             t.fill_subblock(0)
 
+    def test_end_fill_clears_bitmap_residue(self):
+        # regression (found by the protocol model checker): a fill driven
+        # to completion through fill_subblock left the bitmap all-ones,
+        # which the next between-epoch audit rejects as stray state
+        t = make_table()
+        e = t.empty_slot()
+        hot = t.n_slots + 1
+        t.set_pair(e, hot)
+        t.begin_fill(e, hot)
+        for sb in range(t.amap.subblocks_per_page):
+            t.fill_subblock(sb)
+        assert not t.filling
+        assert not bool(t.fill_bitmap.any())
+        t.audit()
+
 
 class TestInvariants:
     def test_fresh_table_passes(self):
