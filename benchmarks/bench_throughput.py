@@ -4,19 +4,33 @@ Not a paper figure: tracks how many trace accesses per second each
 simulation path sustains, so performance regressions in the vectorised
 hot loops are caught (per the optimisation-workflow guide: measure,
 don't guess).
+
+Two entry points share one workload definition:
+
+* pytest-benchmark tests (``pytest benchmarks/bench_throughput.py
+  --benchmark-only``) for interactive profiling;
+* ``python benchmarks/bench_throughput.py --out BENCH_throughput.json``
+  emits a machine-readable snapshot (best-of-N accesses/sec per path)
+  that ``benchmarks/check_throughput.py`` diffs against the committed
+  baseline in CI.
 """
 
-import numpy as np
-import pytest
+import argparse
+import json
+import time
 
-from repro.config import MigrationConfig, SystemConfig
+import numpy as np
+
+from repro.config import MigrationConfig, SystemConfig, offpkg_dram_timing
 from repro.core.detailed import DetailedSimulator
 from repro.core.hetero_memory import HeterogeneousMainMemory
 from repro.dram.fastmodel import FastDevice
 from repro.dram.timing import DramGeometry
-from repro.config import offpkg_dram_timing
 from repro.trace.record import make_chunk
 from repro.units import KB, MB
+
+#: accesses in the standard throughput workload
+N_ACCESSES = 200_000
 
 
 def _cfg():
@@ -40,29 +54,43 @@ def _trace(n, seed=0):
     return make_chunk(blocks * 4096, time=np.cumsum(rng.integers(1, 80, n)))
 
 
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
+
 def test_fast_dram_model_throughput(benchmark):
     geo = DramGeometry(offpkg_dram_timing())
-    trace = _trace(200_000)
+    trace = _trace(N_ACCESSES)
 
     def run():
         dev = FastDevice(geo)
         return dev.service(trace.addr, trace.time)
 
     lat = benchmark(run)
-    assert lat.shape[0] == 200_000
+    assert lat.shape[0] == N_ACCESSES
 
 
 def test_epoch_simulator_throughput(benchmark):
-    trace = _trace(200_000)
+    trace = _trace(N_ACCESSES)
 
     def run():
         return HeterogeneousMainMemory(_cfg()).run(trace)
 
     res = benchmark.pedantic(run, rounds=3, iterations=1)
-    assert res.n_accesses == 200_000
+    assert res.n_accesses == N_ACCESSES
     # the vectorised path should clear ~100k accesses/sec with margin
-    per_access_us = benchmark.stats["mean"] * 1e6 / 200_000
+    per_access_us = benchmark.stats["mean"] * 1e6 / N_ACCESSES
     assert per_access_us < 10.0
+
+
+def test_epoch_simulator_unfused_throughput(benchmark):
+    trace = _trace(N_ACCESSES)
+
+    def run():
+        return HeterogeneousMainMemory(_cfg(), fused=False).run(trace)
+
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert res.n_accesses == N_ACCESSES
 
 
 def test_detailed_simulator_throughput(benchmark):
@@ -73,3 +101,68 @@ def test_detailed_simulator_throughput(benchmark):
 
     res = benchmark.pedantic(run, rounds=2, iterations=1)
     assert res.n_accesses == 5_000
+
+
+# ---------------------------------------------------------------------------
+# JSON snapshot for the CI perf-smoke job
+# ---------------------------------------------------------------------------
+
+def _paths(n):
+    """(name, callable) per measured simulation path, sharing one trace."""
+    trace = _trace(n)
+    geo = DramGeometry(offpkg_dram_timing())
+    return [
+        ("fast_dram_model",
+         lambda: FastDevice(geo).service(trace.addr, trace.time)),
+        ("epoch_simulator_fused",
+         lambda: HeterogeneousMainMemory(_cfg()).run(trace)),
+        ("epoch_simulator_unfused",
+         lambda: HeterogeneousMainMemory(_cfg(), fused=False).run(trace)),
+    ]
+
+
+def measure(n=N_ACCESSES, rounds=5):
+    """Best-of-``rounds`` accesses/sec for every path."""
+    out = {}
+    for name, fn in _paths(n):
+        fn()  # warm-up: imports, allocator, branch caches
+        best = min(
+            _timed(fn) for _ in range(rounds)
+        )
+        out[name] = {
+            "seconds": round(best, 6),
+            "accesses_per_sec": round(n / best),
+        }
+    return out
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_throughput.json",
+                        help="where to write the JSON snapshot")
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("-n", "--accesses", type=int, default=N_ACCESSES)
+    args = parser.parse_args(argv)
+    snapshot = {
+        "schema": 1,
+        "accesses": args.accesses,
+        "rounds": args.rounds,
+        "paths": measure(args.accesses, args.rounds),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for name, row in snapshot["paths"].items():
+        print(f"{name:28s} {row['accesses_per_sec'] / 1e6:8.3f} M accesses/s")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -305,6 +305,76 @@ class StateDictSymmetryRule(LintRule):
 
 
 # ----------------------------------------------------------------------
+# hot-path-copy
+# ----------------------------------------------------------------------
+@register
+class HotPathCopyRule(LintRule):
+    """Per-iteration array copies in the simulator's hot loops.
+
+    The epoch loop's performance contract is allocation-free iteration:
+    chunk fields are strided views and stay that way. A
+    ``np.ascontiguousarray`` or zero-argument ``.copy()`` inside a
+    ``for``/``while`` body in the hot packages re-materialises the
+    buffer every iteration — the page-fault tax on fresh multi-megabyte
+    temporaries dominated the profile before the fused-path work.
+    Hoist the copy out of the loop, reuse a scratch buffer, or suppress
+    inline where a copy is semantically required (e.g. detaching state
+    snapshots).
+    """
+
+    name = "hot-path-copy"
+    severity = Severity.WARNING
+    description = "array copy (ascontiguousarray / .copy()) inside a hot loop"
+    path_scope = ("repro/core/", "repro/memctrl/", "repro/dram/")
+
+    def __init__(self, ctx: FileContext):
+        super().__init__(ctx)
+        self._loop_depth = 0
+
+    def _visit_loop(self, node: ast.AST) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    visit_For = _visit_loop
+    visit_While = _visit_loop
+
+    def _visit_function(self, node: ast.AST) -> None:
+        # a nested def's body runs when called, not per iteration of the
+        # enclosing loop — reset the depth inside it
+        depth, self._loop_depth = self._loop_depth, 0
+        self.generic_visit(node)
+        self._loop_depth = depth
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+    visit_Lambda = _visit_function
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._loop_depth:
+            dotted = dotted_call_name(node.func)
+            if dotted and dotted.split(".")[-1] == "ascontiguousarray":
+                self.report(
+                    node,
+                    "ascontiguousarray inside a loop re-materialises the "
+                    "buffer every iteration; hoist it out or reuse scratch",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "copy"
+                and not node.args
+                and not node.keywords
+            ):
+                self.report(
+                    node,
+                    ".copy() inside a loop allocates per iteration; hoist "
+                    "it out, reuse scratch, or suppress if the copy detaches "
+                    "state on purpose",
+                )
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
 # broad-except
 # ----------------------------------------------------------------------
 @register

@@ -42,10 +42,10 @@ class HeterogeneousMainMemory:
     """On-package + off-package main memory with dynamic migration."""
 
     def __init__(self, config: SystemConfig | None = None, *, migrate: bool = True,
-                 detailed_dram: bool = False):
+                 detailed_dram: bool = False, fused: bool = True):
         self.config = config or SystemConfig()
         self.simulator = EpochSimulator(
-            self.config, migrate=migrate, detailed_dram=detailed_dram
+            self.config, migrate=migrate, detailed_dram=detailed_dram, fused=fused
         )
 
     def run(self, trace: TraceChunk) -> SimulationResult:

@@ -99,10 +99,13 @@ class EpochSimulator:
     """Vectorised trace-driven simulator (the workhorse)."""
 
     def __init__(self, config: SystemConfig, *, migrate: bool = True,
-                 detailed_dram: bool = False):
+                 detailed_dram: bool = False, fused: bool = True):
         self.config = config
         self.migrate = migrate
         self.detailed_dram = detailed_dram
+        #: allow the fused multi-epoch fast path (bit-identical; the flag
+        #: exists so equivalence tests and benchmarks can force either path)
+        self.fused = fused
         self.controller = HeterogeneousController(
             config, detailed=detailed_dram, translation_overhead=migrate
         )
@@ -145,10 +148,25 @@ class EpochSimulator:
         self.run_into(trace, result)
         return result
 
-    def run_into(self, trace: TraceChunk, result: SimulationResult) -> None:
-        interval = self.config.migration.swap_interval
+    def _should_fuse(self) -> bool:
+        """Whether the fused multi-epoch fast path applies.
+
+        The fused path defers all DRAM servicing to one segmented flush;
+        anything that consumes per-epoch latency at the boundary (fault
+        plans, watchdog budgets, table audits) or a device without the
+        segmented entry point forces the stepwise loop.
+        """
         resilience = self.config.resilience
-        amap = self.controller.amap
+        return (
+            self.fused
+            and self._fault_plan is None
+            and not resilience.audit_interval
+            and not resilience.epoch_cycle_budget
+            and hasattr(self.controller.onpkg_model.device, "service_segmented")
+            and hasattr(self.controller.offpkg_model.device, "service_segmented")
+        )
+
+    def run_into(self, trace: TraceChunk, result: SimulationResult) -> None:
         n = len(trace)
         if n and int(trace.time[0]) < self._last_time:
             raise SimulationError("trace chunks must be fed in time order")
@@ -160,9 +178,35 @@ class EpochSimulator:
         if n:
             # reject hostile traces with a clear AddressError up front
             # instead of a table-internal failure mid-translation
-            amap.check_addresses(trace.addr)
+            self.controller.amap.check_addresses(trace.addr)
+            if self._should_fuse():
+                self._run_fused(trace, result)
+            else:
+                self._run_epochwise(trace, result)
+            result.duration_cycles += int(trace.time[-1]) - duration_ref
+        result.swaps_suppressed_busy = self.engine.swaps_suppressed_busy
+        result.swaps_suppressed_cold = self.engine.swaps_suppressed_cold
+        result.migrated_bytes = self.engine.migrated_bytes
+        result.cross_boundary_migrated_bytes = self.engine.cross_boundary_bytes
+        result.onpkg_row_hit_rate = self.controller.onpkg_model.device.row_hit_rate
+        result.offpkg_row_hit_rate = self.controller.offpkg_model.device.row_hit_rate
+        result.degradation_events = self.degradation_events
+        result.quarantined = self.engine.quarantined
+        result.faults_injected = self._faults_injected
+
+    def _run_epochwise(self, trace: TraceChunk, result: SimulationResult) -> None:
+        """Reference per-epoch loop (resilience hooks live here)."""
+        interval = self.config.migration.swap_interval
+        resilience = self.config.resilience
+        amap = self.controller.amap
+        n = len(trace)
+        # derive per-access arrays once per chunk; epochs take views
+        pages_all = amap.page_of(trace.addr)
+        offsets_all = amap.offset_of(trace.addr)
+        subblocks_all = offsets_all >> self._sb_shift
         for start in range(0, n, interval):
-            epoch = trace[start : start + interval]
+            stop = min(start + interval, n)
+            epoch = trace[start:stop]
             t0 = int(epoch.time[0])
             epoch_index = self._epoch_index
             self._epoch_index += 1
@@ -176,7 +220,10 @@ class EpochSimulator:
                 active = None  # finished before this epoch: mirrors suffice
 
             latency, on, machine = self.controller.service_chunk(
-                epoch, self.engine.table, active
+                epoch, self.engine.table, active,
+                pages=pages_all[start:stop],
+                offsets=offsets_all[start:stop],
+                subblocks=subblocks_all[start:stop],
             )
             now = int(epoch.time[-1]) + 1
             epoch_cycles = int(latency.sum())
@@ -202,10 +249,11 @@ class EpochSimulator:
                     )
                 )
 
+            n_on = int(np.count_nonzero(on))
             result.n_accesses += len(epoch)
             result.total_latency += epoch_cycles
-            result.onpkg_accesses += int(on.sum())
-            result.offpkg_accesses += len(epoch) - int(on.sum())
+            result.onpkg_accesses += n_on
+            result.offpkg_accesses += len(epoch) - n_on
             result.epoch_latency.append(float(latency.mean()))
 
             if resilience.audit_interval and (
@@ -215,7 +263,7 @@ class EpochSimulator:
 
             if self.migrate:
                 if not self.engine.quarantined:
-                    pages = amap.page_of(epoch.addr)
+                    pages = pages_all[start:stop]
                     times = epoch.time
                     on_idx = np.flatnonzero(on)
                     off_idx = np.flatnonzero(~on)
@@ -225,26 +273,115 @@ class EpochSimulator:
                         slot_times=times[on_idx],
                         offpkg_pages=pages[off_idx],
                         off_times=times[off_idx],
-                        off_subblocks=(
-                            amap.offset_of(epoch.addr[off_idx]) >> self._sb_shift
-                        ),
+                        off_subblocks=subblocks_all[start:stop][off_idx],
                     )
                 decision = self.engine.maybe_swap(now)
                 if decision.triggered:
                     result.swaps_triggered += 1
             self._last_time = int(epoch.time[-1])
 
-        if n:
-            result.duration_cycles += int(trace.time[-1]) - duration_ref
-        result.swaps_suppressed_busy = self.engine.swaps_suppressed_busy
-        result.swaps_suppressed_cold = self.engine.swaps_suppressed_cold
-        result.migrated_bytes = self.engine.migrated_bytes
-        result.cross_boundary_migrated_bytes = self.engine.cross_boundary_bytes
-        result.onpkg_row_hit_rate = self.controller.onpkg_model.device.row_hit_rate
-        result.offpkg_row_hit_rate = self.controller.offpkg_model.device.row_hit_rate
-        result.degradation_events = self.degradation_events
-        result.quarantined = self.engine.quarantined
-        result.faults_injected = self._faults_injected
+    def _run_fused(self, trace: TraceChunk, result: SimulationResult) -> None:
+        """Fused fast path: run the per-epoch *control* pass (resolution,
+        stall windows, monitor updates, swap trigger) with deferred DRAM
+        servicing, then flush every access through each region's device
+        in one segmented call whose segments are the epoch boundaries.
+
+        Bit-identical to :meth:`_run_epochwise` because latency never
+        feeds back into control flow — trigger decisions depend only on
+        address resolution, access times and monitor state — and
+        :meth:`~repro.dram.fastmodel.FastDevice.service_segmented`
+        guarantees per-segment-exact device behaviour.
+        """
+        interval = self.config.migration.swap_interval
+        amap = self.controller.amap
+        engine = self.engine
+        n = len(trace)
+        # whole-chunk precomputed arrays + flush scratch buffers
+        # (contiguous: the structured-array field views are strided)
+        times_all = np.ascontiguousarray(trace.time)
+        pages_all = amap.page_of(trace.addr)
+        offsets_all = amap.offset_of(trace.addr)
+        subblocks_all = offsets_all >> self._sb_shift
+        writes_all = trace.rw != 0
+        if np.any(np.diff(times_all) < 0):
+            # stalls only floor times to a common value, so this global
+            # check covers every epoch the stepwise loop would check
+            raise SimulationError("chunk times must be non-decreasing")
+        # effective arrival times: aliases times_all until a stall window
+        # actually has to push accesses forward (N design only)
+        eff_times = times_all
+        on_all = np.empty(n, dtype=bool)
+        machine_all = np.empty(n, dtype=np.int64)
+        extra = np.zeros(n, dtype=np.int64)  # stall + interference cycles
+        interference = self.config.migration.interference_cycles
+
+        epoch_starts = np.arange(0, n, interval, dtype=np.int64)
+        for start in range(0, n, interval):
+            stop = min(start + interval, n)
+            t0 = int(times_all[start])
+            self._epoch_index += 1
+
+            active = engine.active
+            if active is not None and active.end <= t0:
+                active = None  # finished before this epoch: mirrors suffice
+
+            tview = times_all[start:stop]
+            on = on_all[start:stop]
+            machine = machine_all[start:stop]
+            self.controller.resolve_into(
+                pages_all[start:stop], tview, subblocks_all[start:stop],
+                engine.table, active, on, machine,
+            )
+
+            if active is not None:
+                if active.stall:
+                    # N design: execution halts while the swap copies data;
+                    # stalled accesses issue together at the stall's end
+                    stalled = (tview >= active.start) & (tview < active.end)
+                    if stalled.any():
+                        if eff_times is times_all:
+                            eff_times = times_all.copy()  # repro-lint: disable=hot-path-copy - copy-on-write, at most once per chunk
+                        extra[start:stop][stalled] = active.end - tview[stalled]
+                        eff_times[start:stop][stalled] = active.end
+                else:
+                    # background copy traffic shares the DDR channel
+                    off_win = ~on
+                    off_win &= tview >= active.start
+                    off_win &= tview < active.end
+                    extra[start:stop][off_win] = interference
+
+            now = int(tview[-1]) + 1
+            if self.migrate:
+                if not engine.quarantined:
+                    on_idx = np.flatnonzero(on)
+                    off_idx = np.flatnonzero(~on)
+                    engine.observe_epoch(
+                        slots=machine[on_idx],
+                        slot_times=tview[on_idx],
+                        offpkg_pages=pages_all[start:stop][off_idx],
+                        off_times=tview[off_idx],
+                        off_subblocks=subblocks_all[start:stop][off_idx],
+                    )
+                decision = engine.maybe_swap(now)
+                if decision.triggered:
+                    result.swaps_triggered += 1
+            self._last_time = int(tview[-1])
+
+        # flush: every region services its accesses in one segmented call
+        latency = self.controller.service_resolved(
+            on_all, machine_all, offsets_all, eff_times, writes_all,
+            epoch_starts, extra,
+        )
+        n_on = int(np.count_nonzero(on_all))
+        result.n_accesses += n
+        result.total_latency += int(latency.sum())
+        result.onpkg_accesses += n_on
+        result.offpkg_accesses += n - n_on
+        # per-epoch means: int64 epoch sums stay far below 2**53, so the
+        # float64 division matches np.mean on the per-epoch slice bitwise
+        epoch_sums = np.add.reduceat(latency, epoch_starts)
+        lens = np.diff(np.append(epoch_starts, n))
+        result.epoch_latency.extend((epoch_sums / lens).tolist())
 
     # ------------------------------------------------------------------
     # resilience hooks

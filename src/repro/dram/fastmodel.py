@@ -77,7 +77,89 @@ class FastDevice:
             return np.zeros(0, dtype=np.int64)
         if np.any(np.diff(arrivals) < 0):
             raise SimulationError("arrivals must be non-decreasing")
+        latency, _ = self._service_core(addr, arrivals, writes, None)
+        return latency
 
+    def service_segmented(
+        self,
+        addr: np.ndarray,
+        arrivals: np.ndarray,
+        seg_starts: np.ndarray,
+        writes: np.ndarray | None = None,
+        *,
+        assume_monotone: bool = False,
+    ) -> np.ndarray:
+        """Many consecutive :meth:`service` calls fused into one.
+
+        Semantically **bit-identical** to calling ``service`` once per
+        segment ``[seg_starts[i], seg_starts[i+1])`` in order (the fused
+        epoch loop's contract). One fused pass is exact as long as the
+        finite-queue carry cap never binds at an interior segment
+        boundary — the sequential carry is ``min(depart, arrival + cap)``
+        per queue, and the fused Lindley recursion propagates the
+        uncapped departure. The fused pass detects any interior binding
+        and, in that (overloaded) case, restores the pre-call state and
+        replays the segments sequentially; configurations with the
+        per-call channel-bus stage always take the sequential path.
+        """
+        addr = np.asarray(addr, dtype=np.int64)
+        arrivals = np.asarray(arrivals, dtype=np.int64)
+        if addr.shape != arrivals.shape:
+            raise SimulationError("addr and arrivals must align")
+        n = addr.shape[0]
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        seg_starts = np.asarray(seg_starts, dtype=np.int64)
+        if seg_starts.size == 0 or seg_starts[0] != 0:
+            raise SimulationError("seg_starts must begin with 0")
+        if seg_starts.size == 1:
+            return self.service(addr, arrivals, writes)
+        if self.geometry.timing.channel_bus or (
+            not assume_monotone and bool(np.any(np.diff(arrivals) < 0))
+        ):
+            # the bus stage restarts at every service() call; only the
+            # sequential replay reproduces that per-call state exactly
+            # (likewise arrivals that regress across segment boundaries;
+            # ``assume_monotone`` lets a caller that already verified
+            # global monotonicity skip the re-check)
+            return self._service_per_segment(addr, arrivals, seg_starts, writes)
+        snapshot = (
+            self._open_row.copy(), self._ready.copy(),
+            self.row_hits, self.row_conflicts,
+        )
+        seg_of = np.repeat(
+            np.arange(seg_starts.size, dtype=np.int64),
+            np.diff(np.concatenate([seg_starts, [n]])),
+        )
+        latency, exact = self._service_core(addr, arrivals, writes, seg_of)
+        if exact:
+            return latency
+        self._open_row, self._ready, self.row_hits, self.row_conflicts = snapshot
+        return self._service_per_segment(addr, arrivals, seg_starts, writes)
+
+    def _service_per_segment(self, addr, arrivals, seg_starts, writes):
+        """Reference sequential replay: one service() call per segment."""
+        latency = np.empty(addr.shape[0], dtype=np.int64)
+        bounds = seg_starts.tolist() + [addr.shape[0]]
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            if hi > lo:
+                latency[lo:hi] = self.service(
+                    addr[lo:hi], arrivals[lo:hi],
+                    None if writes is None else writes[lo:hi],
+                )
+        return latency
+
+    def _service_core(
+        self, addr, arrivals, writes, seg_of
+    ) -> tuple[np.ndarray, bool]:
+        """The vectorised service pass over validated non-empty inputs.
+
+        With ``seg_of`` (per-access segment id), also reports whether the
+        fused result is exact w.r.t. per-segment sequential calls (see
+        :meth:`service_segmented`); callers guarantee ``channel_bus`` is
+        off in that mode.
+        """
+        n = addr.shape[0]
         timing = self.geometry.timing
         refresh_delay = None
         if timing.refresh_interval:
@@ -87,74 +169,113 @@ class FastDevice:
             phase = arrivals % timing.refresh_interval
             refresh_delay = np.maximum(0, timing.refresh_cycles - phase)
             arrivals = arrivals + refresh_delay
-        queues = self.geometry.queue_of(addr)
-        rows = self.geometry.rows_of(addr)
+        queues, rows = self.geometry.queues_and_rows(addr)
 
-        # group by queue, stable so within-queue order == arrival order
-        order = np.argsort(queues, kind="stable")
-        q_sorted = queues[order]
-        rows_sorted = rows[order]
-        arr_sorted = arrivals[order]
+        # Every full-width temporary here is a fresh multi-MB allocation
+        # (page-fault pass included), so freed buffers are recycled via
+        # np.take(..., out=...) / ufunc out= below.
+
+        # group by queue, stable so within-queue order == arrival order;
+        # queue ids are tiny, and stable argsort is a radix sort whose
+        # cost scales with key width — cast to the narrowest dtype
+        nq = self.geometry.n_queues
+        if nq <= 1 << 8:
+            sort_key = queues.astype(np.uint8)
+        elif nq <= 1 << 16:
+            sort_key = queues.astype(np.uint16)
+        else:
+            sort_key = queues
+        order = np.argsort(sort_key, kind="stable")
+        q_sorted = np.take(sort_key, order)  # narrow gathers + comparisons
+        rows_sorted = np.take(rows, order)
+        arr_sorted = np.take(arrivals, order, out=queues)  # queues buffer free
 
         # row hit iff same row as previous request in the same queue;
         # the first request of a queue compares against persistent state
-        prev_rows = np.empty_like(rows_sorted)
-        prev_rows[1:] = rows_sorted[:-1]
         first_of_queue = np.empty(n, dtype=bool)
         first_of_queue[0] = True
-        first_of_queue[1:] = q_sorted[1:] != q_sorted[:-1]
-        prev_rows[first_of_queue] = self._open_row[q_sorted[first_of_queue]]
-        hit = rows_sorted == prev_rows
+        np.not_equal(q_sorted[1:], q_sorted[:-1], out=first_of_queue[1:])
+        # at most n_queues segment starts -> integer indexing beats
+        # re-scanning the boolean mask at every use
+        f_idx = np.flatnonzero(first_of_queue)
+        q_first = q_sorted[f_idx]
+        hit = np.empty(n, dtype=bool)
+        hit[0] = False
+        np.equal(rows_sorted[1:], rows_sorted[:-1], out=hit[1:])
+        hit[f_idx] = rows_sorted[f_idx] == self._open_row[q_first]
 
-        service = np.where(hit, timing.hit_cycles, timing.miss_cycles).astype(np.int64)
+        service = np.empty(n, dtype=np.int64)
+        service[:] = timing.miss_cycles
+        if timing.hit_cycles != timing.miss_cycles:
+            service[hit] = timing.hit_cycles
         if timing.t_wr and writes is not None:
-            service = service + np.asarray(writes, dtype=bool)[order] * timing.t_wr
+            service += np.asarray(writes, dtype=bool)[order] * np.int64(timing.t_wr)
 
         # Lindley per queue, vectorised across the whole sorted array by
         # restarting the cumsum/cummax at queue boundaries.
         # segment-local inclusive cumsum: subtract, from the global cumsum,
         # its value just before each segment start (forward-filled — valid
         # because cumsum is non-decreasing so a running max forward-fills)
-        cs = np.cumsum(service)
-        base_ff = np.maximum.accumulate(
-            np.where(first_of_queue, cs - service, np.int64(np.iinfo(np.int64).min))
-        )
-        S = cs - base_ff  # inclusive segment-local cumsum
+        cs = np.cumsum(service, out=rows)  # rows buffer free after the gather
+        base_ff = np.empty(n, dtype=np.int64)
+        base_ff[:] = np.int64(np.iinfo(np.int64).min)
+        base_ff[f_idx] = cs[f_idx] - service[f_idx]
+        np.maximum.accumulate(base_ff, out=base_ff)
+        S = np.subtract(cs, base_ff, out=cs)  # inclusive segment-local cumsum
 
         # t_i = a_i - S_{i-1}; for segment starts S_{i-1} (local) = 0 but the
         # queue may still be busy from an earlier chunk -> fold persistent
-        # readiness in by treating it as a virtual arrival floor.
-        a_eff = arr_sorted.copy()
-        a_eff[first_of_queue] = np.maximum(
-            a_eff[first_of_queue], self._ready[q_sorted[first_of_queue]]
-        )
-        t = a_eff - (S - service)
+        # readiness in by treating it as a virtual arrival floor
+        # (at those entries S - service == 0, so the floor applies directly)
+        t = np.subtract(arr_sorted, S, out=base_ff)  # base_ff buffer free
+        t += service
+        t[f_idx] = np.maximum(arr_sorted[f_idx], self._ready[q_first])
         # segmented cummax: reset the running max at each segment start
         # trick: offset each segment by a huge per-segment constant so a
         # plain cummax cannot leak across boundaries, then remove it.
-        seg_id = np.cumsum(first_of_queue) - 1
-        # one segment per distinct queue (<= n_queues), so seg_id * BIG
-        # stays far from int64 overflow even for huge t ranges
+        # q_sorted itself is a valid segment label (sorted, distinct per
+        # queue, <= n_queues), so q_sorted * BIG stays far from int64
+        # overflow even for huge t ranges
         BIG = np.int64(max(1, int(t.max()) - int(t.min()) + 1))
-        t_shifted = t + seg_id * BIG
-        run = np.maximum.accumulate(t_shifted) - seg_id * BIG
-        depart = S + run
-        latency_sorted = depart - arr_sorted
-        # finite-queue backpressure proxy: cap the reported queuing wait
+        shift = np.multiply(q_sorted, BIG, dtype=np.int64)
+        t += shift
+        run = np.maximum.accumulate(t, out=t)
+        run -= shift
+        depart = np.add(S, run, out=shift)  # shift buffer free
+        latency_sorted = np.subtract(depart, arr_sorted, out=S)  # S buffer free
         cap = timing.max_queue_wait
+
+        if seg_of is not None:
+            # fused-exactness check: at a segment boundary the sequential
+            # path carries min(depart, arrival + cap) into the next
+            # segment while the fused recursion propagates the uncapped
+            # departure — they agree unless the cap binds at the last
+            # access of a queue *inside* an interior boundary.
+            # (latency_sorted is still the uncapped wait here.)
+            seg_sorted = np.take(seg_of, order, out=run)  # run buffer free
+            boundary = np.empty(n, dtype=bool)
+            np.not_equal(seg_sorted[1:], seg_sorted[:-1], out=boundary[:-1])
+            # bool a & ~b == a > b, without materialising ~b
+            np.greater(boundary[:-1], first_of_queue[1:], out=boundary[:-1])
+            b_idx = np.flatnonzero(boundary[:-1])
+            if b_idx.size and bool((latency_sorted[b_idx] > cap).any()):
+                # bail before mutating persistent state; caller replays
+                return latency_sorted, False
+
+        # finite-queue backpressure proxy: cap the reported queuing wait
         np.minimum(latency_sorted, service + cap, out=latency_sorted)
 
         # persist state for the next chunk: last row/departure per queue
-        last_of_queue = np.empty(n, dtype=bool)
-        last_of_queue[:-1] = q_sorted[:-1] != q_sorted[1:]
-        last_of_queue[-1] = True
-        self._open_row[q_sorted[last_of_queue]] = rows_sorted[last_of_queue]
+        l_idx = np.empty_like(f_idx)
+        l_idx[:-1] = f_idx[1:] - 1
+        l_idx[-1] = n - 1
+        self._open_row[q_first] = rows_sorted[l_idx]
         # carry the backlog, bounded by the finite-queue proxy so an
         # overload episode cannot grow the queue without limit
-        carried = np.minimum(depart[last_of_queue], arr_sorted[last_of_queue] + cap)
-        self._ready[q_sorted[last_of_queue]] = carried
+        carried = np.minimum(depart[l_idx], arr_sorted[l_idx] + cap)
+        self._ready[q_first] = carried
 
-        nh = int(hit.sum())
+        nh = int(np.count_nonzero(hit))
         self.row_hits += nh
         self.row_conflicts += n - nh
 
@@ -193,7 +314,7 @@ class FastDevice:
         latency[order] = latency_sorted
         if refresh_delay is not None:
             latency += refresh_delay
-        return latency
+        return latency, True
 
     @property
     def row_hit_rate(self) -> float:

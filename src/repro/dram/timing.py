@@ -31,6 +31,23 @@ class DramGeometry:
     def __post_init__(self) -> None:
         if not is_power_of_two(self.row_bytes):
             raise ConfigError("row_bytes must be a power of two")
+        # shift/mask fast path: numpy int64 division is several times
+        # slower than shifts, and these decompositions run once per
+        # access in the device hot loop
+        object.__setattr__(
+            self,
+            "_pow2_shifts",
+            (
+                self.row_bytes.bit_length() - 1,
+                self.timing.n_channels.bit_length() - 1,
+                self.timing.n_banks.bit_length() - 1,
+            )
+            if (
+                is_power_of_two(self.timing.n_channels)
+                and is_power_of_two(self.timing.n_banks)
+            )
+            else None,
+        )
 
     @property
     def n_queues(self) -> int:
@@ -39,6 +56,14 @@ class DramGeometry:
 
     def decompose(self, addr) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Vectorised (channel, bank, row) of byte address(es)."""
+        if self._pow2_shifts is not None:
+            row_sh, ch_sh, bk_sh = self._pow2_shifts
+            a = np.asarray(addr, dtype=np.int64) >> row_sh
+            channel = a & (self.timing.n_channels - 1)
+            a >>= ch_sh
+            bank = a & (self.timing.n_banks - 1)
+            row = a >> bk_sh
+            return channel, bank, row
         a = np.asarray(addr, dtype=np.int64) // self.row_bytes
         channel = a % self.timing.n_channels
         a //= self.timing.n_channels
@@ -53,3 +78,23 @@ class DramGeometry:
 
     def rows_of(self, addr) -> np.ndarray:
         return self.decompose(addr)[2]
+
+    def queues_and_rows(self, addr) -> tuple[np.ndarray, np.ndarray]:
+        """(flat queue index, row) in one decomposition pass.
+
+        The pow2 path composes the queue index in place on the
+        decomposition temporaries — this feeds the device hot loop, where
+        every extra full-array temporary costs a page-fault pass.
+        """
+        if self._pow2_shifts is not None:
+            row_sh, ch_sh, bk_sh = self._pow2_shifts
+            a = np.asarray(addr, dtype=np.int64) >> row_sh
+            channel = a & (self.timing.n_channels - 1)
+            a >>= ch_sh
+            bank = a & (self.timing.n_banks - 1)
+            np.right_shift(a, bk_sh, out=a)  # a is now the row
+            np.multiply(channel, self.timing.n_banks, out=channel)
+            channel += bank  # channel is now the flat queue index
+            return channel, a
+        channel, bank, row = self.decompose(addr)
+        return channel * self.timing.n_banks + bank, row

@@ -22,6 +22,7 @@ import os
 from functools import lru_cache
 
 from ..config import SystemConfig, scaled_config
+from ..trace.cache import shared_cache
 from ..trace.record import TraceChunk
 from ..units import GB, KB, MB
 from ..workloads.registry import MIGRATION_STUDY_WORKLOADS, generate_trace
@@ -89,12 +90,33 @@ def scaled_footprint(workload: str, onpkg_bytes: int | None = None) -> int:
 
 
 @lru_cache(maxsize=32)
+def _migration_trace_inproc(
+    workload: str, n: int, seed: int, onpkg_bytes: int | None
+) -> TraceChunk:
+    return generate_trace(
+        workload, n, seed, footprint_bytes=scaled_footprint(workload, onpkg_bytes)
+    )
+
+
 def migration_trace(
     workload: str, n: int, seed: int = 0, onpkg_bytes: int | None = None
 ) -> TraceChunk:
-    """Cached scaled trace for one migration-study workload."""
-    return generate_trace(
-        workload, n, seed, footprint_bytes=scaled_footprint(workload, onpkg_bytes)
+    """Cached scaled trace for one migration-study workload.
+
+    With ``REPRO_TRACE_CACHE`` set (see :mod:`repro.trace.cache`), the
+    trace is shared *across processes*: whichever campaign worker asks
+    first generates and publishes it, everyone else gets a zero-copy
+    memmap of the same file. Without the env var, a per-process LRU is
+    used as before.
+    """
+    cache = shared_cache()
+    if cache is None:
+        return _migration_trace_inproc(workload, n, seed, onpkg_bytes)
+    footprint = scaled_footprint(workload, onpkg_bytes)
+    return cache.get_or_create(
+        {"kind": "migration", "workload": workload, "n": n, "seed": seed,
+         "footprint": footprint},
+        lambda: generate_trace(workload, n, seed, footprint_bytes=footprint),
     )
 
 
@@ -119,12 +141,29 @@ SECTION2_ONPKG = 1 * GB
 
 
 @lru_cache(maxsize=16)
-def npb_trace(workload: str, n: int, seed: int = 0) -> TraceChunk:
-    """Cached scaled NPB trace for the Fig 4/5 study."""
+def _npb_trace_inproc(workload: str, n: int, seed: int) -> TraceChunk:
     from ..workloads.npb import NPB_FOOTPRINTS_MB
 
     footprint = max(4096, NPB_FOOTPRINTS_MB[workload] * MB // CPU_SCALE)
     return generate_trace(workload, n, seed, footprint_bytes=footprint)
+
+
+def npb_trace(workload: str, n: int, seed: int = 0) -> TraceChunk:
+    """Cached scaled NPB trace for the Fig 4/5 study.
+
+    Cross-process via ``REPRO_TRACE_CACHE`` like :func:`migration_trace`.
+    """
+    cache = shared_cache()
+    if cache is None:
+        return _npb_trace_inproc(workload, n, seed)
+    from ..workloads.npb import NPB_FOOTPRINTS_MB
+
+    footprint = max(4096, NPB_FOOTPRINTS_MB[workload] * MB // CPU_SCALE)
+    return cache.get_or_create(
+        {"kind": "npb", "workload": workload, "n": n, "seed": seed,
+         "footprint": footprint},
+        lambda: generate_trace(workload, n, seed, footprint_bytes=footprint),
+    )
 
 
 def all_migration_workloads() -> tuple[str, ...]:

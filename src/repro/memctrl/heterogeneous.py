@@ -73,21 +73,29 @@ class HeterogeneousController:
         self.offpkg_model.device.load_state_dict(state["offpkg_device"])
 
     # ------------------------------------------------------------------
-    def resolve_chunk(
+    def resolve_into(
         self,
-        chunk: TraceChunk,
+        pages: np.ndarray,
+        times: np.ndarray,
+        subblocks: np.ndarray | None,
         table: TranslationTable,
         active: ActiveMigration | None,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Per-access ``(on_package, machine_page)`` honouring in-flight swaps."""
-        pages = self.amap.page_of(chunk.addr)
-        on, machine = table.resolve_many(pages)
-        on = on.copy()
-        machine = machine.copy()
-        if active is None:
-            return on, machine
+        on_out: np.ndarray,
+        machine_out: np.ndarray,
+    ) -> None:
+        """:meth:`resolve_chunk` over precomputed per-access arrays.
 
-        times = chunk.time
+        Writes ``(on_package, machine_page)`` into the caller's output
+        views — this is what lets the fused epoch loop resolve straight
+        into preallocated whole-flush scratch buffers. ``subblocks`` may
+        be ``None`` when ``active`` carries no fill in flight.
+        """
+        on, machine = table.resolve_many(pages)
+        on_out[...] = on
+        machine_out[...] = machine
+        if active is None:
+            return
+
         for page, timeline in active.timelines.items():
             mask = pages == page
             if not mask.any():
@@ -96,20 +104,40 @@ class HeterogeneousController:
             ons = np.array([o for _, o, _ in timeline], dtype=bool)
             machines = np.array([m for _, _, m in timeline], dtype=np.int64)
             idx = np.searchsorted(change_times, times[mask], side="right") - 1
-            on[mask] = ons[idx]
-            machine[mask] = machines[idx]
+            on_out[mask] = ons[idx]
+            machine_out[mask] = machines[idx]
 
         fill = active.fill
         if fill is not None:
             mask = (pages == fill.page) & (times >= fill.start) & (times < fill.end)
             if mask.any():
-                subblocks = (self.amap.offset_of(chunk.addr[mask])) >> self._sb_shift
-                ready = fill.available_at(subblocks)
+                ready = fill.available_at(subblocks[mask])
                 served_on = times[mask] >= ready
-                on_sub = np.where(served_on, True, False)
-                mach_sub = np.where(served_on, fill.slot, fill.old_machine)
-                on[mask] = on_sub
-                machine[mask] = mach_sub
+                on_out[mask] = served_on
+                machine_out[mask] = np.where(served_on, fill.slot, fill.old_machine)
+
+    def resolve_chunk(
+        self,
+        chunk: TraceChunk,
+        table: TranslationTable,
+        active: ActiveMigration | None,
+        *,
+        pages: np.ndarray | None = None,
+        subblocks: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-access ``(on_package, machine_page)`` honouring in-flight swaps."""
+        if pages is None:
+            pages = self.amap.page_of(chunk.addr)
+        if (
+            subblocks is None
+            and active is not None
+            and active.fill is not None
+        ):
+            subblocks = self.amap.offset_of(chunk.addr) >> self._sb_shift
+        n = pages.shape[0]
+        on = np.empty(n, dtype=bool)
+        machine = np.empty(n, dtype=np.int64)
+        self.resolve_into(pages, chunk.time, subblocks, table, active, on, machine)
         return on, machine
 
     def service_chunk(
@@ -117,12 +145,18 @@ class HeterogeneousController:
         chunk: TraceChunk,
         table: TranslationTable,
         active: ActiveMigration | None = None,
+        *,
+        pages: np.ndarray | None = None,
+        offsets: np.ndarray | None = None,
+        subblocks: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Latency of each access in a time-ordered chunk.
 
         Returns ``(latencies, onpkg_mask, machine_page)``. The chunk must
         not start before previously serviced chunks (device state is
-        persistent).
+        persistent). ``pages``/``offsets``/``subblocks`` accept arrays
+        the caller already derived from ``chunk.addr`` (the epoch loop
+        precomputes them once per trace chunk).
         """
         n = len(chunk)
         if n == 0:
@@ -131,14 +165,18 @@ class HeterogeneousController:
                 np.zeros(0, dtype=bool),
                 np.zeros(0, dtype=np.int64),
             )
-        on, machine = self.resolve_chunk(chunk, table, active)
-        offsets = self.amap.offset_of(chunk.addr)
-        times = chunk.time.astype(np.int64, copy=True)
+        on, machine = self.resolve_chunk(
+            chunk, table, active, pages=pages, subblocks=subblocks
+        )
+        if offsets is None:
+            offsets = self.amap.offset_of(chunk.addr)
+        times = chunk.time
         latency = np.zeros(n, dtype=np.int64)
 
         # N design: execution halts while the swap copies data
-        stall_extra = np.zeros(n, dtype=np.int64)
+        stall_extra = None
         if active is not None and active.stall:
+            stall_extra = np.zeros(n, dtype=np.int64)
             stalled = (times >= active.start) & (times < active.end)
             stall_extra[stalled] = active.end - times[stalled]
             times = times + stall_extra  # issue after the stall
@@ -149,13 +187,14 @@ class HeterogeneousController:
             raise SimulationError("chunk times must be non-decreasing")
 
         writes = chunk.rw != 0
-        if on.any():
+        n_on = int(np.count_nonzero(on))
+        if n_on:
             sel = np.flatnonzero(on)
             local = self.router.onpkg_local_address(machine[sel], offsets[sel])
             latency[sel] = self.onpkg_model.access_latency(
                 local, times[sel], writes[sel]
             )
-        if (~on).any():
+        if n_on < n:
             sel = np.flatnonzero(~on)
             local = self.router.offpkg_local_address(machine[sel], offsets[sel])
             lat = self.offpkg_model.access_latency(local, times[sel], writes[sel])
@@ -170,13 +209,107 @@ class HeterogeneousController:
                 self.config.migration.os_assisted,
                 hw_cycles=self.config.migration.hw_translation_cycles,
             )
-        latency += stall_extra
+        if stall_extra is not None:
+            latency += stall_extra
 
         self.accesses += n
         self.total_latency += int(latency.sum())
-        self.onpkg_accesses += int(on.sum())
-        self.offpkg_accesses += n - int(on.sum())
+        self.onpkg_accesses += n_on
+        self.offpkg_accesses += n - n_on
         return latency, on, machine
+
+    def service_resolved(
+        self,
+        on: np.ndarray,
+        machine: np.ndarray,
+        offsets: np.ndarray,
+        times: np.ndarray,
+        writes: np.ndarray,
+        seg_starts: np.ndarray,
+        extra: np.ndarray,
+    ) -> np.ndarray:
+        """Deferred region servicing for the fused epoch loop.
+
+        The control pass already resolved routing per epoch; this flushes
+        the accumulated accesses through each region's device in one
+        segmented call whose segments are the original epoch boundaries
+        (``seg_starts``, global indices into the flush). ``times`` are
+        effective arrival times (stalls applied); ``extra`` carries the
+        per-access additive cycles the control pass computed (stall +
+        interference). Bit-identical to the per-epoch
+        :meth:`service_chunk` sequence by :meth:`FastDevice.service_segmented`'s
+        contract. Counters and translation overhead are applied here.
+        """
+        n = on.shape[0]
+        n_on = int(np.count_nonzero(on))
+        if n_on == n or n_on == 0:
+            # single-region flush: no select/gather/scatter round-trip
+            model = self.onpkg_model if n_on else self.offpkg_model
+            dev = model.device
+            local = (
+                self.router.onpkg_local_address(machine, offsets)
+                if n_on
+                else self.router.offpkg_local_address(machine, offsets)
+            )
+            wr = writes if dev.geometry.timing.t_wr else None
+            latency = dev.service_segmented(
+                local, times, seg_starts, wr, assume_monotone=True
+            )
+            latency += model.path_overhead
+            if self.translation_overhead:
+                latency += translation_cycles(
+                    self.config.migration.os_assisted,
+                    hw_cycles=self.config.migration.hw_translation_cycles,
+                )
+            latency += extra
+            self.accesses += n
+            self.total_latency += int(latency.sum())
+            self.onpkg_accesses += n_on
+            self.offpkg_accesses += n - n_on
+            return latency
+
+        latency = np.zeros(n, dtype=np.int64)
+        if n_on:
+            sel = np.flatnonzero(on)
+            local = self.router.onpkg_local_address(machine[sel], offsets[sel])
+            segs = np.searchsorted(sel, seg_starts)
+            segs = segs[segs < sel.shape[0]]
+            dev = self.onpkg_model.device
+            # the write gather is dead weight when the region charges no
+            # write recovery
+            wr = writes[sel] if dev.geometry.timing.t_wr else None
+            latency[sel] = (
+                dev.service_segmented(
+                    local, times[sel], segs, wr, assume_monotone=True
+                )
+                + self.onpkg_model.path_overhead
+            )
+        if n_on < n:
+            sel = np.flatnonzero(~on)
+            local = self.router.offpkg_local_address(machine[sel], offsets[sel])
+            segs = np.searchsorted(sel, seg_starts)
+            segs = segs[segs < sel.shape[0]]
+            dev = self.offpkg_model.device
+            wr = writes[sel] if dev.geometry.timing.t_wr else None
+            latency[sel] = (
+                dev.service_segmented(
+                    local, times[sel], segs, wr, assume_monotone=True
+                )
+                + self.offpkg_model.path_overhead
+            )
+
+        if self.translation_overhead:
+            latency += translation_cycles(
+                self.config.migration.os_assisted,
+                hw_cycles=self.config.migration.hw_translation_cycles,
+            )
+        latency += extra
+
+        self.accesses += n
+        self.total_latency += int(latency.sum())
+        self.onpkg_accesses += n_on
+        self.offpkg_accesses += n - n_on
+        return latency
 
     @property
     def average_latency(self) -> float:

@@ -22,9 +22,12 @@ class RegionRouter:
 
     def machine_address(self, machine_page: np.ndarray, offset: np.ndarray) -> np.ndarray:
         """Rebuild full machine byte addresses (vectorised)."""
-        return (
-            np.asarray(machine_page, dtype=np.int64) << self.amap.offset_bits
-        ) | np.asarray(offset, dtype=np.int64)
+        addr = np.asarray(machine_page, dtype=np.int64) << self.amap.offset_bits
+        if isinstance(addr, np.ndarray) and addr.ndim:
+            # the shift made a fresh temporary; compose in place
+            np.bitwise_or(addr, np.asarray(offset, dtype=np.int64), out=addr)
+            return addr
+        return addr | np.asarray(offset, dtype=np.int64)
 
     def split(self, machine_page: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """``(onpkg_mask, offpkg_mask)`` from the MSB decode."""

@@ -133,6 +133,10 @@ class MigrationEngine:
         self.degradation_events: list[DegradationEvent] = []
         self.epochs_observed = 0
         self._abort_at_step: int | None = None
+        # last-touched sub-block per off-package page, as parallel sorted
+        # arrays (one np.unique pass per epoch, no per-epoch dict build)
+        self._last_sb_pages: np.ndarray | None = None
+        self._last_sb_vals: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     def observe_epoch(
@@ -144,17 +148,40 @@ class MigrationEngine:
         off_subblocks: np.ndarray | None = None,
     ) -> None:
         """Feed one epoch's accesses to the recency/frequency trackers."""
-        self.monitor.observe_epoch(slots, slot_times, offpkg_pages, off_times)
-        if off_subblocks is not None and np.asarray(offpkg_pages).size:
-            off = np.asarray(offpkg_pages, dtype=np.int64)
-            pages, inverse = np.unique(off, return_inverse=True)
-            last_idx = np.zeros(pages.shape[0], dtype=np.int64)
-            last_idx[inverse] = np.arange(off.shape[0])
-            self._last_subblock = dict(
-                zip(pages.tolist(), np.asarray(off_subblocks)[last_idx].tolist())
+        off = np.asarray(offpkg_pages, dtype=np.int64)
+        if off.size:
+            # one unique pass shared between the monitor's frequency
+            # aggregation and the critical-block recency bookkeeping
+            pages, inverse, counts = np.unique(
+                off, return_inverse=True, return_counts=True
             )
+            last = np.zeros(pages.shape[0], dtype=np.int64)
+            np.maximum.at(last, inverse, np.asarray(off_times, dtype=np.int64))
+            self.monitor.fold_epoch(slots, slot_times, pages, counts, last)
+            if off_subblocks is not None:
+                last_idx = np.zeros(pages.shape[0], dtype=np.int64)
+                last_idx[inverse] = np.arange(off.shape[0])
+                self._last_sb_pages = pages
+                self._last_sb_vals = np.asarray(off_subblocks)[last_idx]
+            else:
+                self._last_sb_pages = None
+                self._last_sb_vals = None
         else:
-            self._last_subblock = {}
+            empty = np.zeros(0, dtype=np.int64)
+            self.monitor.fold_epoch(slots, slot_times, empty, empty, empty)
+            self._last_sb_pages = None
+            self._last_sb_vals = None
+
+    def _mru_first_subblock(self, page: int) -> int:
+        """Last sub-block the given off-package page was touched at (for
+        critical-block-first fills); 0 when unseen this epoch."""
+        pages = self._last_sb_pages
+        if pages is None:
+            return 0
+        i = int(np.searchsorted(pages, page))
+        if i < pages.shape[0] and int(pages[i]) == page:
+            return int(self._last_sb_vals[i])
+        return 0
 
     def maybe_swap(self, now: int) -> SwapDecision:
         """Epoch-boundary evaluation: trigger a hottest-coldest swap?
@@ -281,7 +308,7 @@ class MigrationEngine:
                     lru=lru_page,
                 )
 
-        first_subblock = int(getattr(self, "_last_subblock", {}).get(mru_page, 0))
+        first_subblock = self._mru_first_subblock(mru_page)
         self._schedule(now, mru_page, lru_page, first_subblock)
         self.monitor.new_epoch()
         return SwapDecision(True, "hottest-coldest swap", mru=mru_page, lru=lru_page)
@@ -439,7 +466,13 @@ class MigrationEngine:
             "degradation_events": list(self.degradation_events),
             "epochs_observed": self.epochs_observed,
             "abort_at_step": self._abort_at_step,
-            "last_subblock": dict(getattr(self, "_last_subblock", {})),
+            "last_subblock": (
+                {}
+                if self._last_sb_pages is None
+                else dict(
+                    zip(self._last_sb_pages.tolist(), self._last_sb_vals.tolist())
+                )
+            ),
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -457,4 +490,13 @@ class MigrationEngine:
         self.degradation_events = list(state["degradation_events"])
         self.epochs_observed = state["epochs_observed"]
         self._abort_at_step = state["abort_at_step"]
-        self._last_subblock = dict(state["last_subblock"])
+        sb = dict(state["last_subblock"])
+        if sb:
+            pages = np.array(sorted(sb), dtype=np.int64)
+            self._last_sb_pages = pages
+            self._last_sb_vals = np.array(
+                [sb[p] for p in pages.tolist()], dtype=np.int64
+            )
+        else:
+            self._last_sb_pages = None
+            self._last_sb_vals = None

@@ -77,23 +77,35 @@ class EpochMonitor:
         off_times: np.ndarray,
     ) -> None:
         """Fold one epoch's accesses into the monitor (all arrays 1-D)."""
-        slots = np.asarray(slots, dtype=np.int64)
-        if slots.size:
-            # last touch per slot: maximum time per slot id
-            np.maximum.at(self.slot_last_touch, slots, np.asarray(slot_times, dtype=np.int64))
-            np.add.at(self.slot_epoch_counts, slots, 1)
         off = np.asarray(offpkg_pages, dtype=np.int64)
         if off.size:
             pages, inverse, counts = np.unique(off, return_inverse=True, return_counts=True)
             last = np.zeros(pages.shape[0], dtype=np.int64)
             np.maximum.at(last, inverse, np.asarray(off_times, dtype=np.int64))
-            self._off_pages = pages
-            self._off_counts = counts
-            self._off_last = last
         else:
-            self._off_pages = np.zeros(0, dtype=np.int64)
-            self._off_counts = np.zeros(0, dtype=np.int64)
-            self._off_last = np.zeros(0, dtype=np.int64)
+            pages = counts = last = np.zeros(0, dtype=np.int64)
+        self.fold_epoch(slots, slot_times, pages, counts, last)
+
+    def fold_epoch(
+        self,
+        slots: np.ndarray,
+        slot_times: np.ndarray,
+        off_pages: np.ndarray,
+        off_counts: np.ndarray,
+        off_last: np.ndarray,
+    ) -> None:
+        """:meth:`observe_epoch` with the off-package page aggregation
+        (unique pages, per-page counts and last-touch times) already
+        computed — the migration engine shares one ``np.unique`` pass
+        between the monitor and its own recency bookkeeping."""
+        slots = np.asarray(slots, dtype=np.int64)
+        if slots.size:
+            # last touch per slot: maximum time per slot id
+            np.maximum.at(self.slot_last_touch, slots, np.asarray(slot_times, dtype=np.int64))
+            np.add.at(self.slot_epoch_counts, slots, 1)
+        self._off_pages = off_pages
+        self._off_counts = off_counts
+        self._off_last = off_last
 
     def coldest_slot(self, exclude: set[int] | None = None) -> int:
         """Slot with the oldest last touch (never-touched slots first)."""

@@ -1,0 +1,220 @@
+"""Cross-process content-addressed trace cache.
+
+Campaign workers simulate the same (workload, n, seed, footprint) traces
+over and over. Generation is deterministic but expensive, so the cache
+publishes each generated trace once, on disk, keyed by a sha256 of its
+canonical parameters; every other process — concurrent or later — maps
+the published file zero-copy (:func:`~repro.trace.io.open_trace_mmap`)
+instead of regenerating.
+
+Concurrency protocol (readers need no locks):
+
+* **Atomic publish** — the writer generates into a private temp file in
+  the cache directory and ``os.replace``\\ s it onto the final name. A
+  reader therefore sees either a complete, valid file or no file at
+  all; a crashed writer leaves only a ``*.tmp-*`` orphan that is never
+  opened as a cache entry, and a corrupt entry (torn header/size) is
+  treated as a miss and regenerated over.
+* **Generation lock** — writers race on an ``O_CREAT | O_EXCL`` lock
+  file so each trace is generated once even when several workers miss
+  simultaneously; losers poll for the winner's publish. A lock older
+  than ``stale_lock_s`` (its holder crashed) is broken.
+* **Audit trail** — every actual generation appends one line to
+  ``generation.log`` (``O_APPEND``, single short write, so concurrent
+  lines never interleave). Tests assert "each trace generated exactly
+  once across the campaign" from this log.
+
+The cache directory is configured with the ``REPRO_TRACE_CACHE``
+environment variable (see :func:`shared_cache`); the campaign
+supervisor's ``trace_cache_dir`` parameter exports it to workers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from typing import Callable
+
+from ..errors import TraceError
+from .io import TraceWriter, open_trace_mmap
+from .record import TraceChunk
+
+#: environment variable naming the shared cache directory
+TRACE_CACHE_ENV = "REPRO_TRACE_CACHE"
+
+_LOG_NAME = "generation.log"
+
+
+def canonical_key(params: dict) -> str:
+    """Stable content key of a parameter dict (sha256 of canonical JSON)."""
+    blob = json.dumps(params, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class TraceCache:
+    """On-disk, multi-process trace store keyed by generation parameters.
+
+    ``hits`` / ``misses`` count this process's lookups: a hit mapped an
+    already-published file, a miss ran the generator (exactly one
+    process takes the miss for any given key).
+    """
+
+    def __init__(self, root: str | os.PathLike, *,
+                 stale_lock_s: float = 300.0,
+                 poll_interval_s: float = 0.02,
+                 wait_timeout_s: float = 600.0):
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.stale_lock_s = stale_lock_s
+        self.poll_interval_s = poll_interval_s
+        self.wait_timeout_s = wait_timeout_s
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, params: dict) -> str:
+        return os.path.join(self.root, canonical_key(params) + ".trace")
+
+    def get_or_create(
+        self, params: dict, generate: Callable[[], TraceChunk]
+    ) -> TraceChunk:
+        """Return the trace for ``params``, generating it at most once.
+
+        The returned chunk is always a read-only memmap view of the
+        published file — including for the generating process — so a
+        campaign's working set of traces is shared page-cache, not
+        per-process heap.
+        """
+        path = self.path_for(params)
+        chunk = self._try_open(path)
+        if chunk is not None:
+            self.hits += 1
+            return chunk
+
+        lock = path + ".lock"
+        deadline = time.monotonic() + self.wait_timeout_s
+        while True:
+            chunk = self._try_open(path)
+            if chunk is not None:
+                self.hits += 1
+                return chunk
+            if self._acquire(lock):
+                try:
+                    # double-check: the previous holder may have
+                    # published between our miss and our acquire
+                    chunk = self._try_open(path)
+                    if chunk is not None:
+                        self.hits += 1
+                        return chunk
+                    self.misses += 1
+                    self._publish(path, generate())
+                    self._log_generation(params)
+                    return open_trace_mmap(path)
+                finally:
+                    try:
+                        os.unlink(lock)
+                    except OSError:
+                        pass
+            if time.monotonic() > deadline:
+                raise TraceError(
+                    f"timed out after {self.wait_timeout_s:.0f}s waiting for "
+                    f"another process to publish {path} (lock: {lock})"
+                )
+            time.sleep(self.poll_interval_s)
+
+    def generation_count(self, params: dict | None = None) -> int:
+        """Lines in the audit log — total, or for one key."""
+        log = os.path.join(self.root, _LOG_NAME)
+        if not os.path.exists(log):
+            return 0
+        want = canonical_key(params) if params is not None else None
+        count = 0
+        with open(log, "r", encoding="utf-8") as fh:
+            for line in fh:
+                if not line.strip():
+                    continue
+                if want is None or json.loads(line)["key"] == want:
+                    count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    def _try_open(self, path: str) -> TraceChunk | None:
+        try:
+            return open_trace_mmap(path)
+        except FileNotFoundError:
+            return None
+        except TraceError:
+            # torn/corrupt entry: impossible via atomic publish, but a
+            # damaged cache directory must degrade to regeneration, not
+            # wedge every consumer
+            return None
+
+    def _acquire(self, lock: str) -> bool:
+        try:
+            fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            try:
+                age = time.time() - os.path.getmtime(lock)  # repro-lint: disable=wall-clock - lock staleness vs file mtime, never feeds results
+            except OSError:
+                return False  # lock vanished; caller retries
+            if age > self.stale_lock_s:
+                # the holder crashed mid-generation; break its lock and
+                # let the retry loop race for a fresh one
+                try:
+                    os.unlink(lock)
+                except OSError:
+                    pass
+            return False
+        try:
+            os.write(fd, f"{os.getpid()}\n".encode())
+        finally:
+            os.close(fd)
+        return True
+
+    def _publish(self, path: str, chunk: TraceChunk) -> None:
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=os.path.basename(path) + ".tmp-"
+        )
+        os.close(fd)
+        try:
+            with TraceWriter(tmp) as w:
+                w.write(chunk)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _log_generation(self, params: dict) -> None:
+        line = json.dumps(
+            {"key": canonical_key(params), "params": params},
+            sort_keys=True, default=str,
+        ) + "\n"
+        fd = os.open(
+            os.path.join(self.root, _LOG_NAME),
+            os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644,
+        )
+        try:
+            os.write(fd, line.encode())
+        finally:
+            os.close(fd)
+
+
+#: one instance per directory so hit/miss counters aggregate in-process
+_INSTANCES: dict[str, TraceCache] = {}
+
+
+def shared_cache() -> TraceCache | None:
+    """The process-wide cache named by ``REPRO_TRACE_CACHE``, if any."""
+    root = os.environ.get(TRACE_CACHE_ENV, "").strip()
+    if not root:
+        return None
+    cache = _INSTANCES.get(root)
+    if cache is None:
+        cache = _INSTANCES[root] = TraceCache(root)
+    return cache

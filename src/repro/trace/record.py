@@ -63,10 +63,18 @@ class TraceChunk:
         return len(self.records)
 
     def __getitem__(self, key) -> "TraceChunk":
-        sliced = self.records[key]
+        """Sub-chunk by slice or mask (never a scalar index).
+
+        Aliasing contract: a **slice** key returns a zero-copy *view*
+        over the same records — mutating the parent's records mutates
+        the slice and vice versa (this is what makes the epoch loop
+        allocation-free). Mask / fancy-index keys return a fresh copy
+        (plain numpy semantics). A caller that intends to mutate a
+        sliced chunk must take an explicit ``.copy()`` first.
+        """
         if isinstance(key, (int, np.integer)):
             raise TraceError("index a TraceChunk with slices/masks, not scalars")
-        return TraceChunk(np.ascontiguousarray(sliced), validate=False)
+        return TraceChunk(self.records[key], validate=False)
 
     def __eq__(self, other) -> bool:
         return isinstance(other, TraceChunk) and np.array_equal(self.records, other.records)

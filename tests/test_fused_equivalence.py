@@ -1,0 +1,120 @@
+"""Fused multi-epoch fast path must be bit-identical to the stepwise loop.
+
+The fused path defers all DRAM servicing to one segmented flush per
+chunk; these tests pin the contract from the optimisation work: not a
+single simulated number may change — total latency, the full
+``epoch_latency`` series, swap counters, row-hit rates, everything.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import MigrationConfig, SystemConfig
+from repro.core.hetero_memory import HeterogeneousMainMemory
+from repro.trace.record import make_chunk
+from repro.units import KB, MB
+
+ALGORITHMS = ("N", "N-1", "live")
+
+
+def _trace(n=60_000, seed=0, writes=True):
+    rng = np.random.default_rng(seed)
+    span = 128 * MB // 4096
+    hot = rng.integers(0, span)
+    blocks = np.where(
+        rng.random(n) < 0.8,
+        (hot + rng.integers(0, 512, n)) % span,
+        rng.integers(0, span, n),
+    )
+    rw = (rng.random(n) < 0.3).astype(np.int8) if writes else 0
+    return make_chunk(
+        blocks * 4096, time=np.cumsum(rng.integers(1, 80, n)), rw=rw
+    )
+
+
+def _cfg(**migration_kwargs):
+    kwargs = dict(algorithm="live", macro_page_bytes=64 * KB, swap_interval=1_000)
+    kwargs.update(migration_kwargs)
+    return SystemConfig(
+        total_bytes=128 * MB,
+        onpkg_bytes=16 * MB,
+        migration=MigrationConfig(**kwargs),
+    )
+
+
+def _scalar_fields(result):
+    return {
+        f.name: getattr(result, f.name)
+        for f in dataclasses.fields(result)
+        if f.name not in ("epoch_latency", "degradation_events")
+    }
+
+
+def assert_identical(cfg, trace, *, migrate=True, chunks=1):
+    fused = HeterogeneousMainMemory(cfg, migrate=migrate, fused=True)
+    plain = HeterogeneousMainMemory(cfg, migrate=migrate, fused=False)
+    if chunks == 1:
+        r_fused = fused.run(trace)
+        r_plain = plain.run(trace)
+    else:
+        bounds = np.linspace(0, len(trace), chunks + 1).astype(int)
+        r_fused = fused.simulator.run(trace[: bounds[1]])
+        r_plain = plain.simulator.run(trace[: bounds[1]])
+        for lo, hi in zip(bounds[1:-1], bounds[2:]):
+            fused.simulator.run_into(trace[lo:hi], r_fused)
+            plain.simulator.run_into(trace[lo:hi], r_plain)
+    assert _scalar_fields(r_fused) == _scalar_fields(r_plain)
+    assert r_fused.epoch_latency == r_plain.epoch_latency
+    return r_fused
+
+
+class TestAlgorithms:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_bit_identical(self, algorithm):
+        cfg = _cfg(algorithm=algorithm)
+        r = assert_identical(cfg, _trace())
+        assert r.swaps_triggered > 0  # exercise the migration machinery
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_bit_identical_without_writes(self, algorithm):
+        assert_identical(_cfg(algorithm=algorithm), _trace(writes=False))
+
+
+class TestVariants:
+    def test_os_assisted_translation(self):
+        # macro page below hw_min_page_bytes -> OS-assisted table updates
+        cfg = _cfg(macro_page_bytes=16 * KB, hw_min_page_bytes=1 * MB)
+        assert_identical(cfg, _trace())
+
+    def test_critical_block_first_off(self):
+        assert_identical(_cfg(critical_block_first=False), _trace())
+
+    def test_hottest_coldest_trigger_off(self):
+        assert_identical(_cfg(hottest_coldest_trigger=False), _trace())
+
+    def test_no_migration(self):
+        assert_identical(_cfg(), _trace(), migrate=False)
+
+    def test_chunked_feeding(self):
+        # chunk boundaries must not perturb either path, including
+        # boundaries that do not line up with epoch boundaries
+        assert_identical(_cfg(), _trace(), chunks=7)
+
+    def test_large_epochs(self):
+        assert_identical(_cfg(swap_interval=25_000), _trace())
+
+    def test_tiny_queue_wait_forces_fallback(self):
+        # a tiny cap makes the boundary-binding check fire, forcing the
+        # fused flush to fall back to per-segment servicing — results
+        # must still be identical
+        base = _cfg()
+        timing = dataclasses.replace(base.offpkg_dram, max_queue_wait=8)
+        cfg = dataclasses.replace(base, offpkg_dram=timing)
+        assert_identical(cfg, _trace(n=30_000))
+
+    def test_empty_and_tiny_traces(self):
+        cfg = _cfg()
+        assert_identical(cfg, make_chunk([]))
+        assert_identical(cfg, make_chunk([0, 4096, 8192]))

@@ -173,6 +173,97 @@ class TestRules:
 
 
 # ----------------------------------------------------------------------
+# hot-path-copy
+# ----------------------------------------------------------------------
+HOT_PATH = "src/repro/core/example.py"
+
+
+class TestHotPathCopy:
+    def test_copy_in_loop_flagged(self):
+        found = findings_for(
+            """
+            def f(chunks):
+                for c in chunks:
+                    x = c.copy()
+            """,
+            path=HOT_PATH,
+        )
+        assert rule_names(found) == ["hot-path-copy"]
+        assert found[0].severity is Severity.WARNING
+
+    def test_ascontiguousarray_in_while_flagged(self):
+        found = findings_for(
+            """
+            import numpy as np
+
+            def f(a):
+                while a.size:
+                    a = np.ascontiguousarray(a[1:])
+            """,
+            path="src/repro/dram/example.py",
+        )
+        assert rule_names(found) == ["hot-path-copy"]
+
+    def test_copy_outside_loop_ok(self):
+        assert not findings_for(
+            """
+            import numpy as np
+
+            def f(a):
+                b = np.ascontiguousarray(a)
+                return b.copy()
+            """,
+            path=HOT_PATH,
+        )
+
+    def test_copy_with_arguments_ok(self):
+        # copy(order="F") / copy.copy(x)-style calls with operands are
+        # not the zero-arg array idiom the rule targets
+        assert not findings_for(
+            """
+            import copy
+
+            def f(items):
+                for x in items:
+                    y = copy.copy(x)
+                    z = x.copy(order="F")
+            """,
+            path=HOT_PATH,
+        )
+
+    def test_nested_function_resets_loop_depth(self):
+        assert not findings_for(
+            """
+            def f(chunks):
+                for c in chunks:
+                    def g():
+                        return c.copy()
+            """,
+            path=HOT_PATH,
+        )
+
+    def test_out_of_scope_paths_ignored(self):
+        src = """
+        def f(chunks):
+            for c in chunks:
+                x = c.copy()
+        """
+        assert not findings_for(src, path=SIM_PATH)
+        assert not findings_for(src, path="src/repro/campaign/supervisor.py")
+        assert findings_for(src, path="src/repro/memctrl/example.py")
+
+    def test_inline_suppression(self):
+        assert not findings_for(
+            """
+            def f(chunks):
+                for c in chunks:
+                    x = c.copy()  # repro-lint: disable=hot-path-copy - detaches state
+            """,
+            path=HOT_PATH,
+        )
+
+
+# ----------------------------------------------------------------------
 # suppressions
 # ----------------------------------------------------------------------
 class TestSuppressions:

@@ -23,6 +23,21 @@ class TestRecord:
         c = make_chunk([0, 64])
         assert c.addr.base is c.records
 
+    def test_slice_is_zero_copy_view(self):
+        # the documented aliasing contract: slices share the parent's
+        # records buffer; masks/fancy indexing copy
+        c = make_chunk([0, 64, 128, 192])
+        view = c[1:3]
+        assert view.records.base is c.records
+        c.records["addr"][1] = 4096
+        assert view.addr[0] == 4096
+
+    def test_mask_index_copies(self):
+        c = make_chunk([0, 64, 128, 192])
+        picked = c[np.array([True, False, True, False])]
+        c.records["addr"][0] = 4096
+        assert picked.addr[0] == 0
+
     def test_validation_rejects_negative_addr(self):
         with pytest.raises(TraceError):
             make_chunk([-1])

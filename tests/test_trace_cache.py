@@ -1,0 +1,215 @@
+"""Tests for the cross-process trace cache and mmap-backed chunks."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.hetero_memory import HeterogeneousMainMemory
+from repro.errors import TraceError
+from repro.trace.cache import TRACE_CACHE_ENV, TraceCache, canonical_key, shared_cache
+from repro.trace.io import open_trace_mmap, write_trace
+from repro.trace.record import make_chunk
+from repro.units import KB, MB
+
+
+def _chunk(n=500, seed=3):
+    rng = np.random.default_rng(seed)
+    addr = rng.integers(0, 1 << 20, size=n) * 64
+    time = np.cumsum(rng.integers(1, 50, size=n))
+    rw = (rng.random(n) < 0.25).astype(np.int8)
+    return make_chunk(addr, time=time, rw=rw)
+
+
+class TestOpenTraceMmap:
+    def test_round_trip(self, tmp_path):
+        c = _chunk()
+        path = tmp_path / "t.trace"
+        write_trace(path, c)
+        m = open_trace_mmap(path)
+        assert isinstance(m.records, np.memmap)
+        np.testing.assert_array_equal(m.records, c.records)
+
+    def test_mmap_chunk_validates_and_slices(self, tmp_path):
+        c = _chunk()
+        path = tmp_path / "t.trace"
+        write_trace(path, c)
+        m = open_trace_mmap(path)
+        m.validate()  # must not raise
+        view = m[10:20]
+        assert len(view) == 10
+        np.testing.assert_array_equal(view.addr, c.addr[10:20])
+
+    def test_rejects_torn_file(self, tmp_path):
+        c = _chunk()
+        path = tmp_path / "t.trace"
+        write_trace(path, c)
+        with open(path, "r+b") as fh:
+            fh.truncate(os.path.getsize(path) - 7)
+        with pytest.raises(TraceError):
+            open_trace_mmap(path)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "t.trace"
+        write_trace(path, make_chunk([]))
+        assert len(open_trace_mmap(path)) == 0
+
+
+class TestTraceCache:
+    def test_hit_equals_fresh_generation(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        params = {"workload": "x", "n": 500, "seed": 3}
+        calls = []
+
+        def gen():
+            calls.append(1)
+            return _chunk()
+
+        first = cache.get_or_create(params, gen)
+        second = cache.get_or_create(params, gen)
+        assert len(calls) == 1
+        assert cache.misses == 1 and cache.hits == 1
+        np.testing.assert_array_equal(first.records, _chunk().records)
+        np.testing.assert_array_equal(second.records, first.records)
+        assert cache.generation_count() == 1
+        assert cache.generation_count(params) == 1
+
+    def test_distinct_params_distinct_entries(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        a = cache.get_or_create({"seed": 1}, lambda: _chunk(seed=1))
+        b = cache.get_or_create({"seed": 2}, lambda: _chunk(seed=2))
+        assert not np.array_equal(a.records, b.records)
+        assert cache.misses == 2
+        assert cache.generation_count() == 2
+
+    def test_key_is_order_insensitive(self):
+        assert canonical_key({"a": 1, "b": 2}) == canonical_key({"b": 2, "a": 1})
+        assert canonical_key({"a": 1}) != canonical_key({"a": 2})
+
+    def test_crashed_writer_partial_file_is_ignored(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        params = {"seed": 9}
+        # a crashed writer can only leave (a) a tmp orphan, (b) a torn
+        # file at the final path if the directory was damaged; both must
+        # read as a miss and be regenerated over
+        orphan = os.path.join(cache.root, "deadbeef.trace.tmp-xyz")
+        with open(orphan, "wb") as fh:
+            fh.write(b"garbage")
+        final = cache.path_for(params)
+        write_trace(final, _chunk(n=100, seed=9))
+        with open(final, "r+b") as fh:
+            fh.truncate(os.path.getsize(final) - 3)
+        got = cache.get_or_create(params, lambda: _chunk(n=100, seed=9))
+        assert cache.misses == 1
+        np.testing.assert_array_equal(got.records, _chunk(n=100, seed=9).records)
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        cache = TraceCache(tmp_path, stale_lock_s=0.0, poll_interval_s=0.01)
+        params = {"seed": 4}
+        lock = cache.path_for(params) + ".lock"
+        with open(lock, "w") as fh:
+            fh.write("99999\n")
+        got = cache.get_or_create(params, lambda: _chunk(seed=4))
+        assert cache.misses == 1
+        assert len(got) == 500
+        assert not os.path.exists(lock)
+
+    def test_generation_log_lines_are_json(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        params = {"workload": "w", "n": 10}
+        cache.get_or_create(params, lambda: _chunk(n=10))
+        log = os.path.join(cache.root, "generation.log")
+        lines = [json.loads(x) for x in open(log) if x.strip()]
+        assert lines[0]["key"] == canonical_key(params)
+        assert lines[0]["params"]["workload"] == "w"
+
+    def test_shared_cache_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(TRACE_CACHE_ENV, raising=False)
+        assert shared_cache() is None
+        monkeypatch.setenv(TRACE_CACHE_ENV, str(tmp_path))
+        cache = shared_cache()
+        assert cache is not None and cache.root == str(tmp_path)
+        assert shared_cache() is cache  # per-directory singleton
+
+
+def _campaign_trace_worker(workload, n, seed):
+    """Module-level (picklable) worker: pull a shared trace, checksum it."""
+    from repro.experiments.common import migration_trace
+
+    trace = migration_trace(workload, n, seed)
+    return int(trace.addr[:256].sum())
+
+
+class TestCampaignSharing:
+    def test_two_worker_campaign_generates_each_trace_once(
+        self, tmp_path, monkeypatch
+    ):
+        from collections import Counter
+
+        from repro.campaign import CampaignSupervisor, CampaignTask
+
+        monkeypatch.delenv(TRACE_CACHE_ENV, raising=False)
+        cache_dir = tmp_path / "cache"
+        tasks = [
+            CampaignTask(f"t{i}-s{seed}", _campaign_trace_worker,
+                         ("pgbench", 40_000, seed))
+            for seed in (0, 1)
+            for i in range(2)
+        ]
+        report = CampaignSupervisor(jobs=2, trace_cache_dir=cache_dir).run(tasks)
+        assert report.ok
+        # same params -> same trace, across processes
+        by_seed = {}
+        for o in report.outcomes:
+            by_seed.setdefault(o.task_id.split("-s")[1], set()).add(o.result)
+        assert all(len(v) == 1 for v in by_seed.values())
+        # exactly one generation per distinct trace, per the audit log
+        log = os.path.join(cache_dir, "generation.log")
+        keys = Counter(json.loads(x)["key"] for x in open(log) if x.strip())
+        assert len(keys) == 2
+        assert all(count == 1 for count in keys.values())
+        assert TraceCache(cache_dir).generation_count() == 2
+        # the supervisor restored the parent environment
+        assert TRACE_CACHE_ENV not in os.environ
+        # published entries are valid, mappable traces
+        entries = [f for f in os.listdir(cache_dir) if f.endswith(".trace")]
+        assert len(entries) == 2
+        for name in entries:
+            open_trace_mmap(os.path.join(cache_dir, name)).validate()
+
+
+class TestMmapSimulation:
+    def test_simulator_results_match_in_memory(self, tmp_path):
+        c = _chunk(n=4_000, seed=11)
+        path = tmp_path / "t.trace"
+        write_trace(path, c)
+        m = open_trace_mmap(path)
+        cfg = SystemConfig(total_bytes=64 * MB, onpkg_bytes=8 * MB).with_migration(
+            algorithm="live", macro_page_bytes=64 * KB, swap_interval=500
+        )
+        r_mem = HeterogeneousMainMemory(cfg).run(c)
+        r_map = HeterogeneousMainMemory(cfg).run(m)
+        assert r_mem.total_latency == r_map.total_latency
+        assert r_mem.swaps_triggered == r_map.swaps_triggered
+        assert r_mem.epoch_latency == r_map.epoch_latency
+
+    def test_mmap_chunk_survives_checkpoint_round_trip(self, tmp_path):
+        c = _chunk(n=3_000, seed=12)
+        path = tmp_path / "t.trace"
+        write_trace(path, c)
+        m = open_trace_mmap(path)
+        cfg = SystemConfig(total_bytes=64 * MB, onpkg_bytes=8 * MB).with_migration(
+            algorithm="N-1", macro_page_bytes=64 * KB, swap_interval=500
+        )
+        straight = HeterogeneousMainMemory(cfg).run(m)
+
+        system = HeterogeneousMainMemory(cfg)
+        result = system.simulator.run(m[:1_500])
+        ckpt = tmp_path / "ckpt.npz"
+        system.save_checkpoint(ckpt, result)
+        resumed, partial, _ = HeterogeneousMainMemory.resume(ckpt)
+        resumed.simulator.run_into(m[1_500:], partial)
+        assert partial.total_latency == straight.total_latency
+        assert partial.swaps_triggered == straight.swaps_triggered
