@@ -51,11 +51,13 @@ from .campaign import (
     CampaignTask,
     RetryPolicy,
 )
+from .datamodel import DataViolation, ShadowMemory
 from .errors import (
     CampaignError,
     CheckpointError,
     FaultInjectionError,
     ReproError,
+    SwapAbortError,
     TaskCrashError,
     TaskTimeoutError,
     WatchdogError,
@@ -84,6 +86,7 @@ __all__ = [
     "CampaignSupervisor",
     "CampaignTask",
     "CheckpointError",
+    "DataViolation",
     "DegradationEvent",
     "DetailedSimulator",
     "DramTiming",
@@ -102,7 +105,9 @@ __all__ = [
     "ReproError",
     "ResilienceConfig",
     "RetryPolicy",
+    "ShadowMemory",
     "SimulationResult",
+    "SwapAbortError",
     "SystemConfig",
     "TaskCrashError",
     "TaskTimeoutError",

@@ -89,6 +89,8 @@ def _cmd_protocol(args: argparse.Namespace) -> int:
 
 def _cmd_faults(args: argparse.Namespace) -> int:
     impacts = fault_invariant_analysis()
+    #: scenarios whose modelled recovery must leave zero violations
+    broken = [fi for fi in impacts if fi.expect_clean and fi.invariants]
     if args.json:
         json.dump(
             [
@@ -97,6 +99,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
                     "scenario": fi.scenario,
                     "invariants": list(fi.invariants),
                     "note": fi.note,
+                    "expect_clean": fi.expect_clean,
                 }
                 for fi in impacts
             ],
@@ -107,7 +110,17 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     else:
         for fi in impacts:
             inv = ", ".join(fi.invariants) if fi.invariants else "none"
-            print(f"{fi.fault}: {fi.scenario}\n  violates: {inv}\n  {fi.note}")
+            mark = "" if fi.expect_clean else " (expected: audit repairs)"
+            print(
+                f"{fi.fault}: {fi.scenario}\n  violates: {inv}{mark}\n  {fi.note}"
+            )
+        if broken:
+            print(
+                f"{len(broken)} scenario(s) expected clean but violated "
+                "invariants"
+            )
+    if args.fail_on_violation:
+        return 1 if broken else 0
     return 0
 
 
@@ -168,6 +181,13 @@ def build_parser() -> argparse.ArgumentParser:
         "faults", help="map injected fault kinds to violated invariants"
     )
     p_faults.add_argument("--json", action="store_true")
+    p_faults.add_argument(
+        "--fail-on-violation", action="store_true",
+        help=(
+            "exit 1 when a scenario expected to recover cleanly "
+            "(expect_clean) violates any invariant"
+        ),
+    )
     p_faults.set_defaults(func=_cmd_faults)
 
     p_rules = sub.add_parser("rules", help="print the rule catalog")

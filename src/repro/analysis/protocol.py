@@ -656,12 +656,20 @@ class _HaltExecution(Exception):
 
 @dataclass(frozen=True)
 class FaultImpact:
-    """Which checker invariants one injected fault class violates."""
+    """Which checker invariants one injected fault class violates.
+
+    ``expect_clean`` is the scenario's contract: True means the modelled
+    recovery machinery must leave **zero** violated invariants (the
+    ``repro-lint faults --fail-on-violation`` gate); False marks a raw
+    SEU scenario that violates invariants *by design* — that is what the
+    periodic audit exists to catch.
+    """
 
     fault: str                 # FaultKind value
     scenario: str              # how/when the fault lands
     invariants: tuple[str, ...]
     note: str
+    expect_clean: bool = True
 
 
 def _run_prefix(machine: _Machine, plan: SwapPlan, n_steps: int, *,
@@ -677,6 +685,55 @@ def _run_prefix(machine: _Machine, plan: SwapPlan, n_steps: int, *,
                       on_boundary=cb)
     except _HaltExecution:
         pass
+
+
+def _model_recovery(m: _Machine, pre_state: dict) -> list[CopyStep]:
+    """Mirror the engine's data-safe abort recovery on the model.
+
+    The content map is read off the machine's *actual* cells (a location
+    is a live copy of page p only when every sub-block holds p at its
+    current version — a torn Live fill is garbage), the copy-back moves
+    come from the same :func:`repro.migration.recovery.recovery_moves`
+    the engine executes, and the table is restored to its pre-swap
+    snapshot afterwards, in the engine's order.
+    """
+    from ..migration.recovery import recovery_moves  # local: import cycle
+
+    table = m.table
+    pre = TranslationTable(
+        m.amap, reserve_empty_slot=table._reserve_empty_slot
+    )
+    pre.load_state_dict(pre_state)
+
+    content: dict[Location, int | None] = {}
+    for loc, cells in m.contents.items():
+        page = None
+        if cells[0] is not None:
+            p = cells[0][0]
+            if all(
+                cells[sb] == (p, m.version.get((p, sb), 0))
+                for sb in range(m.S)
+            ):
+                page = p
+        content[loc] = page
+
+    def loc_of(t: TranslationTable, page: int) -> Location:
+        on, machine = t.resolve(page)
+        return ("slot", machine) if on else ("mach", machine)
+
+    pages = [
+        p for p in range(m.amap.n_total_pages) if p != m.amap.ghost_page
+    ]
+    target_of = {p: loc_of(pre, p) for p in pages}
+    prefer = {p: loc_of(table, p) for p in pages}
+    steps = recovery_moves(
+        content, target_of, m.amap.macro_page_bytes, prefer=prefer
+    )
+    for step in steps:
+        m.copy(step)
+        m.trace.append(f"recovery: {step.label}")
+    table.load_state_dict(pre_state)
+    return steps
 
 
 def _sweep(machine: _Machine, *, live: bool = False) -> tuple[str, ...]:
@@ -702,10 +759,12 @@ def fault_invariant_analysis(amap: AddressMap | None = None) -> list[FaultImpact
     invariants it violates, by actually injecting it into the model.
 
     The scenarios mirror what ``resilience/faults.py`` does to a live
-    system: SEU bit flips land behind the table API on a quiescent
-    table; bitmap corruption lands mid-Live-fill; swap aborts land
-    between plan steps, with and without the engine's transactional
-    table rollback.
+    system: SEU bit flips land behind the table API on a quiescent table
+    (``expect_clean=False`` — violating invariants is their point, and
+    the periodic audit catches them); swap aborts land between plan
+    steps and are followed by the engine's data-safe recovery
+    (:func:`~repro.migration.recovery.recovery_moves` + table rollback),
+    which must leave zero violated invariants.
     """
     from ..resilience.faults import FaultKind  # local: avoid import cycle
 
@@ -737,6 +796,7 @@ def fault_invariant_analysis(amap: AddressMap | None = None) -> list[FaultImpact
                 "the page resolves to Ω, which holds no copy of it — the "
                 "periodic audit flags the stray bit and repair() clears it"
             ),
+            expect_clean=False,
         )
     )
 
@@ -753,6 +813,7 @@ def fault_invariant_analysis(amap: AddressMap | None = None) -> list[FaultImpact
                 "routing is unaffected (the fill registers are clear) but "
                 "the table no longer passes its between-epoch audit"
             ),
+            expect_clean=False,
         )
     )
 
@@ -775,69 +836,80 @@ def fault_invariant_analysis(amap: AddressMap | None = None) -> list[FaultImpact
                 "the F-bit refinement serves the corrupted sub-block "
                 "on-package before its data lands — a stale read"
             ),
+            expect_clean=False,
         )
     )
 
-    # -- ABORT_SWAP: three landings -------------------------------------
-    # (a) torn mid-plan, no rollback: P-bit residue, but every access
-    #     still resolves — the paper's duplication promise
-    t = fresh()
-    mru, lru = case_a_inputs(t)
-    plan = build_swap_steps(t, mru, lru)
-    m = _Machine(t)
-    _run_prefix(m, plan, 2)    # map TU + incoming copy, then nothing
-    out.append(
-        FaultImpact(
-            fault=FaultKind.ABORT_SWAP.value,
-            scenario="torn mid-swap, no recovery (P bit left pending)",
-            invariants=_sweep(m),
-            note=(
-                "every access still resolves to a valid copy — the data "
-                "duplication holds — but the swap residue fails the audit"
-            ),
-        )
-    )
-
-    # (b) abort before the ghost-resolution copy + engine table rollback
+    # -- ABORT_SWAP: three landings, all with data-safe recovery --------
+    # (a) abort before the Ω-resolution copy: no pre-swap home has been
+    #     overwritten yet, so recovery reduces to the table rollback
     t = fresh()
     mru, lru = case_a_inputs(t)
     plan = build_swap_steps(t, mru, lru)
     snapshot = t.state_dict()
     m = _Machine(t)
-    _run_prefix(m, plan, 2)
-    t.load_state_dict(snapshot)
+    _run_prefix(m, plan, 2)    # map TU + incoming copy, then abort
+    _model_recovery(m, snapshot)
     out.append(
         FaultImpact(
             fault=FaultKind.ABORT_SWAP.value,
-            scenario="abort before the Ω-resolution copy, table rolled back",
+            scenario="abort before the Ω-resolution copy, data-safe recovery",
             invariants=_sweep(m),
             note=(
-                "no pre-swap home was overwritten yet, so restoring the "
-                "table restores exactly the pre-swap routing"
+                "no pre-swap home was overwritten yet: the recovery "
+                "planner emits no copy-back and the table rollback alone "
+                "restores the pre-swap routing over intact data"
             ),
         )
     )
 
-    # (c) abort after the Ω-resolution copy + bare table rollback: the
-    #     MRU's old home was overwritten, so the restored routing points
-    #     at dead data — rollback alone is not data-safe this late
+    # (b) abort after the Ω-resolution copy: the MRU's old home holds
+    #     dead data, so recovery copies the surviving on-package
+    #     duplicate back home before restoring the table — a bare
+    #     rollback here is the checker's valid-copy counterexample
+    #     (pinned by tests/test_data_integrity.py)
     t = fresh()
     mru, lru = case_a_inputs(t)
     plan = build_swap_steps(t, mru, lru)
     snapshot = t.state_dict()
     m = _Machine(t)
     _run_prefix(m, plan, 4)    # ... incoming copy, Ω copy, pending clear
-    t.load_state_dict(snapshot)
+    _model_recovery(m, snapshot)
     out.append(
         FaultImpact(
             fault=FaultKind.ABORT_SWAP.value,
-            scenario="abort after the Ω-resolution copy, bare table rollback",
+            scenario="abort after the Ω-resolution copy, data-safe recovery",
             invariants=_sweep(m),
             note=(
-                "the incoming page's old home was already overwritten; a "
-                "data-safe recovery must copy the surviving on-package "
-                "duplicate back home (the quarantine path's copy-home), "
-                "not just restore the table"
+                "the incoming page's old home was already overwritten; "
+                "the recovery planner copies the surviving on-package "
+                "duplicate back home, then restores the table"
+            ),
+        )
+    )
+
+    # (c) Live Migration fill torn at a sub-block micro-boundary: the
+    #     destination slot is garbage as a whole page, but the fill
+    #     source is untouched — recovery must treat the partial fill as
+    #     garbage and leave the still-valid source in place
+    t = fresh()
+    mru, lru = case_a_inputs(t)
+    plan = build_swap_steps(t, mru, lru)
+    snapshot = t.state_dict()
+    m = _Machine(t)
+    _run_prefix(m, plan, 4, live=True)  # TU + 3 of 4 sub-blocks landed
+    if not t.filling:  # pragma: no cover - geometry guard
+        raise AnalysisError("expected a fill in progress mid-abort")
+    _model_recovery(m, snapshot)
+    out.append(
+        FaultImpact(
+            fault=FaultKind.ABORT_SWAP.value,
+            scenario="Live fill torn mid-sub-block, data-safe recovery",
+            invariants=_sweep(m),
+            note=(
+                "the half-landed fill destination is garbage as a whole "
+                "page; the content map never claims it, so recovery keeps "
+                "routing at the intact fill source"
             ),
         )
     )

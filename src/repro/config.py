@@ -263,6 +263,14 @@ class ResilienceConfig:
 
     #: epochs between ``table.audit()`` invariant sweeps (0 = never)
     audit_interval: int = 0
+    #: data-safe late-abort recovery: an aborted swap copies every page
+    #: its executed copy prefix displaced back home (from the surviving
+    #: duplicate) before the table rollback, stalling execution for the
+    #: copy-back and emitting an ``abort-recovered`` event. Off = the
+    #: pre-recovery bare rollback, which can leave routing pointed at
+    #: dead data after the Ω-resolution copy (the protocol checker's
+    #: ``valid-copy`` counterexample).
+    data_safe_abort: bool = True
     #: consecutive swap failures / failed audits before the migration
     #: engine quarantines itself and falls back to static mapping
     max_consecutive_failures: int = 3

@@ -42,10 +42,12 @@ class HeterogeneousMainMemory:
     """On-package + off-package main memory with dynamic migration."""
 
     def __init__(self, config: SystemConfig | None = None, *, migrate: bool = True,
-                 detailed_dram: bool = False, fused: bool = True):
+                 detailed_dram: bool = False, fused: bool = True,
+                 track_data: bool = False):
         self.config = config or SystemConfig()
         self.simulator = EpochSimulator(
-            self.config, migrate=migrate, detailed_dram=detailed_dram, fused=fused
+            self.config, migrate=migrate, detailed_dram=detailed_dram,
+            fused=fused, track_data=track_data,
         )
 
     def run(self, trace: TraceChunk) -> SimulationResult:
@@ -89,6 +91,11 @@ class HeterogeneousMainMemory:
         system.config = bundle.config
         system.simulator = restore_simulator(bundle)
         return system, bundle.result, bundle.extra
+
+    @property
+    def shadow(self):
+        """The data-content shadow memory (None unless track_data=True)."""
+        return self.simulator.shadow
 
     @property
     def table(self):

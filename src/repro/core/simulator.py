@@ -67,6 +67,9 @@ class SimulationResult:
     dram_errors_corrected: int = 0
     dram_errors_retried: int = 0
     dram_errors_uncorrectable: int = 0
+    #: demand reads that returned stale/garbage data per the shadow
+    #: memory (always 0 unless the simulator ran with track_data=True)
+    data_violations: int = 0
 
     @property
     def average_latency(self) -> float:
@@ -99,7 +102,8 @@ class EpochSimulator:
     """Vectorised trace-driven simulator (the workhorse)."""
 
     def __init__(self, config: SystemConfig, *, migrate: bool = True,
-                 detailed_dram: bool = False, fused: bool = True):
+                 detailed_dram: bool = False, fused: bool = True,
+                 track_data: bool = False):
         self.config = config
         self.migrate = migrate
         self.detailed_dram = detailed_dram
@@ -113,6 +117,12 @@ class EpochSimulator:
             config.address_map(), config.migration, config.bus,
             resilience=config.resilience,
         )
+        #: optional data-content shadow memory (pure bookkeeping: it
+        #: never feeds back into routing or timing, but it does force
+        #: the stepwise epoch loop)
+        self.shadow = None
+        if track_data:
+            self._attach_shadow()
         self._sb_shift = log2_exact(config.migration.subblock_bytes)
         self._last_time = -(1 << 62)
         self._epoch_index = 0
@@ -120,6 +130,15 @@ class EpochSimulator:
         self._ecc = EccModel(config.resilience)
         self._events: list[DegradationEvent] = []
         self._faults_injected = 0
+
+    def _attach_shadow(self) -> None:
+        # local import: datamodel depends on migration.table, and keeping
+        # the default path import-free keeps startup identical
+        from ..datamodel import ShadowMemory
+
+        self.shadow = ShadowMemory(self.engine.table)
+        self.engine.shadow = self.shadow
+        self.controller.shadow = self.shadow
 
     def attach_faults(self, plan: FaultPlan) -> None:
         """Arm a seeded fault plan; epochs consult it at their boundary.
@@ -160,6 +179,7 @@ class EpochSimulator:
         return (
             self.fused
             and self._fault_plan is None
+            and self.shadow is None
             and not resilience.audit_interval
             and not resilience.epoch_cycle_budget
             and hasattr(self.controller.onpkg_model.device, "service_segmented")
@@ -193,6 +213,8 @@ class EpochSimulator:
         result.degradation_events = self.degradation_events
         result.quarantined = self.engine.quarantined
         result.faults_injected = self._faults_injected
+        if self.shadow is not None:
+            result.data_violations = len(self.shadow.violations)
 
     def _run_epochwise(self, trace: TraceChunk, result: SimulationResult) -> None:
         """Reference per-epoch loop (resilience hooks live here)."""
@@ -396,7 +418,11 @@ class EpochSimulator:
         for ev in self._fault_plan.events_for_epoch(epoch_index):
             self._faults_injected += 1
             if ev.kind is FaultKind.ABORT_SWAP:
-                self.engine.inject_abort(ev.param)
+                # getattr(): fault plans pickled before micro-boundary
+                # aborts existed carry no subblocks field
+                self.engine.inject_abort(
+                    ev.param, subblocks=getattr(ev, "subblocks", 0)
+                )
             elif ev.kind is FaultKind.STUCK_P_BIT:
                 table.set_pending(ev.param % table.n_slots, True)
             elif ev.kind is FaultKind.STUCK_F_BIT:
@@ -479,6 +505,7 @@ class EpochSimulator:
             "events": list(self._events),
             "engine": self.engine.state_dict(),
             "controller": self.controller.state_dict(),
+            "shadow": None if self.shadow is None else self.shadow.state_dict(),
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -489,3 +516,11 @@ class EpochSimulator:
         self._events = list(state["events"])
         self.engine.load_state_dict(state["engine"])
         self.controller.load_state_dict(state["controller"])
+        # .get(): checkpoints written before the shadow memory existed.
+        # restore_simulator builds the target with default arguments, so
+        # a tracked run re-wires its shadow here instead of in __init__.
+        shadow_state = state.get("shadow")
+        if shadow_state is not None:
+            if self.shadow is None:
+                self._attach_shadow()
+            self.shadow.load_state_dict(shadow_state)

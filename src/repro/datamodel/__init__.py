@@ -1,0 +1,11 @@
+"""Data-content modelling: the runtime's versioned shadow memory.
+
+The simulator is timing-first; this package adds an optional
+data-content dimension so migration correctness ("every access returns
+the last value written") is a tested runtime property, not only a
+statically checked one. See :mod:`repro.datamodel.shadow`.
+"""
+
+from .shadow import DataViolation, Location, ShadowMemory
+
+__all__ = ["DataViolation", "Location", "ShadowMemory"]

@@ -1,0 +1,259 @@
+"""Live data-content shadow memory for the runtime simulator.
+
+:mod:`repro.analysis.protocol` checks the swap protocol *statically*
+against a symbolic versioned memory. This module is the same model made
+*live*: a :class:`ShadowMemory` mirrors every macro page's data as
+per-4KB-sub-block ``(page, write_generation)`` cells, the memory
+controller feeds it every routed demand access, and the migration
+engine feeds it every copy its plans perform — at the cycle the copy
+lands, so a read that races a half-landed fill is checked against what
+the machine location *actually holds at that time*.
+
+The model is deliberately identical to the checker's ``_Machine``:
+
+* locations are ``("slot", i)`` / ``("mach", p)`` / ``("buf", 0)``;
+* a copy first kills any write-forwarding link through its destination,
+  then lands its sub-blocks;
+* a fully-landed copy opens a forwarding link — the on-chip controller
+  re-sends stores that hit the source of a still-uncommitted copy — and
+  all of a plan's links die when the plan completes;
+* a write bumps the page/sub-block generation and lands at the access's
+  resolved location (plus any live forwarding link from it);
+* a read is checked against the expected ``(page, generation)``; a
+  mismatch is recorded as a :class:`DataViolation` (never raised — the
+  harness asserts on the collected list).
+
+Timing: engine-side copies arrive through a time-ordered operation
+queue and are applied before any demand access with an equal-or-later
+timestamp (``times >= ready`` is how the controller serves a landed
+sub-block, so the queue flushes ops with ``time <= access_time``).
+Accesses to the reserved page Ω carry no architectural data and are
+ignored.
+
+The shadow is pure bookkeeping: it never influences routing, timing or
+any simulated number. ``EpochSimulator(track_data=True)`` wires it in
+(and forces the stepwise epoch loop); the default leaves every code
+path byte-identical.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..migration.table import TranslationTable
+
+#: ("slot", i) on-package | ("mach", p) off-package | ("buf", 0) bounce buffer
+Location = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class DataViolation:
+    """One demand read that returned something other than the last write."""
+
+    time: int
+    page: int
+    subblock: int
+    location: Location
+    #: what the resolved location held: (page, generation), or None (garbage)
+    found: tuple[int, int] | None
+    #: the (page, generation) the read should have returned
+    expected: tuple[int, int]
+
+    def format(self) -> str:
+        holds = (
+            "garbage"
+            if self.found is None
+            else f"page {self.found[0]} g{self.found[1]}"
+        )
+        return (
+            f"t={self.time}: read page {self.page} sub-block {self.subblock} "
+            f"resolved to {self.location} holding {holds}, expected "
+            f"page {self.page} g{self.expected[1]}"
+        )
+
+
+class ShadowMemory:
+    """Versioned data-content mirror of the whole machine memory."""
+
+    def __init__(self, table: TranslationTable):
+        self.amap = table.amap
+        self.n_subblocks = self.amap.subblocks_per_page
+        self.ghost = self.amap.ghost_page
+        #: location -> per-sub-block (page, generation) or None (garbage)
+        self.contents: dict[Location, list[tuple[int, int] | None]] = {}
+        #: (page, subblock) -> last written generation (absent = 0)
+        self.generation: dict[tuple[int, int], int] = {}
+        self.violations: list[DataViolation] = []
+        self.reads = 0
+        self.writes = 0
+        #: live write-forwarding links as [src, dst] pairs
+        self._links: list[list[Location]] = []
+        #: time-ordered engine ops: (time, kind, payload); kinds are
+        #: "copy" (src, dst, subblocks|None), "link" (src, dst), "close" ()
+        self._ops: deque[tuple[int, str, tuple]] = deque()
+        for page in range(self.amap.n_total_pages):
+            if page == self.ghost:
+                continue
+            on, machine = table.resolve(page)
+            loc: Location = ("slot", machine) if on else ("mach", machine)
+            self.contents[loc] = [(page, 0)] * self.n_subblocks
+
+    # ------------------------------------------------------------------
+    # memory primitives (identical semantics to analysis.protocol._Machine)
+    # ------------------------------------------------------------------
+    def _cells(self, loc: Location) -> list[tuple[int, int] | None]:
+        cells = self.contents.get(loc)
+        if cells is None:
+            cells = [None] * self.n_subblocks
+            self.contents[loc] = cells
+        return cells
+
+    def apply_copy(
+        self,
+        src: Location,
+        dst: Location,
+        subblocks: tuple[int, ...] | None = None,
+    ) -> None:
+        """One engine copy lands (whole page, or the given sub-blocks)."""
+        # the first byte landing at dst kills any older copy stream
+        # through that location
+        self._links = [
+            link for link in self._links if dst not in (link[0], link[1])
+        ]
+        src_cells, dst_cells = self._cells(src), self._cells(dst)
+        for sb in subblocks if subblocks is not None else range(self.n_subblocks):
+            dst_cells[sb] = src_cells[sb]
+
+    def open_link(self, src: Location, dst: Location) -> None:
+        """A copy fully landed: forward later stores at src into dst."""
+        self._links.append([src, dst])
+
+    def close_links(self) -> None:
+        """A plan completed: its table updates are live, copies stop."""
+        self._links.clear()
+
+    # ------------------------------------------------------------------
+    # engine-side op queue
+    # ------------------------------------------------------------------
+    def schedule(self, time: int, kind: str, payload: tuple) -> None:
+        """Queue an op to apply before any access at ``>= time``.
+
+        Ops must be scheduled in non-decreasing time order (the engine
+        walks each plan forward, and a new plan only schedules once the
+        previous one's window has closed).
+        """
+        self._ops.append((int(time), kind, payload))
+
+    def _apply(self, kind: str, payload: tuple) -> None:
+        if kind == "copy":
+            self.apply_copy(*payload)
+        elif kind == "link":
+            self.open_link(*payload)
+        else:
+            self.close_links()
+
+    def flush(self, until: int | None = None) -> None:
+        """Apply every queued op with ``time <= until`` (None: all)."""
+        ops = self._ops
+        while ops and (until is None or ops[0][0] <= until):
+            _, kind, payload = ops.popleft()
+            self._apply(kind, payload)
+
+    def drop_pending(self) -> None:
+        """Cancel not-yet-landed ops (quarantine quiesces the copy engine)."""
+        self._ops.clear()
+        self.close_links()
+
+    # ------------------------------------------------------------------
+    # controller-side demand stream
+    # ------------------------------------------------------------------
+    def process(self, times, pages, subblocks, on, machine, writes) -> None:
+        """Check/record one time-ordered chunk of routed accesses.
+
+        All six arguments are parallel per-access arrays; ``on`` and
+        ``machine`` are the controller's resolution (timeline and fill
+        refinements already applied) at the *original* access times.
+        """
+        ops = self._ops
+        it = zip(
+            times.tolist(), pages.tolist(), subblocks.tolist(),
+            on.tolist(), machine.tolist(), writes.tolist(),
+        )
+        for t, page, sb, on_pkg, m, write in it:
+            while ops and ops[0][0] <= t:
+                _, kind, payload = ops.popleft()
+                self._apply(kind, payload)
+            if page == self.ghost:
+                continue
+            loc: Location = ("slot", m) if on_pkg else ("mach", m)
+            if write:
+                self.writes += 1
+                gen = self.generation.get((page, sb), 0) + 1
+                self.generation[(page, sb)] = gen
+                self._cells(loc)[sb] = (page, gen)
+                for src, dst in self._links:
+                    if src == loc:
+                        self._cells(dst)[sb] = (page, gen)
+            else:
+                self.reads += 1
+                cell = self._cells(loc)[sb]
+                expected = (page, self.generation.get((page, sb), 0))
+                if cell != expected:
+                    self.violations.append(
+                        DataViolation(
+                            time=t, page=page, subblock=sb, location=loc,
+                            found=cell, expected=expected,
+                        )
+                    )
+
+    # ------------------------------------------------------------------
+    # end-of-run verification
+    # ------------------------------------------------------------------
+    def verify_table(self, table: TranslationTable) -> list[DataViolation]:
+        """Final sweep: every page/sub-block the table can resolve must
+        hold its last-written generation. Flushes all pending ops first;
+        returns the violations found (without recording them)."""
+        self.flush()
+        bad: list[DataViolation] = []
+        for page in range(self.amap.n_total_pages):
+            if page == self.ghost:
+                continue
+            for sb in range(self.n_subblocks):
+                on, machine = table.resolve(page, sb)
+                loc: Location = ("slot", machine) if on else ("mach", machine)
+                cell = self._cells(loc)[sb]
+                expected = (page, self.generation.get((page, sb), 0))
+                if cell != expected:
+                    bad.append(
+                        DataViolation(
+                            time=-1, page=page, subblock=sb, location=loc,
+                            found=cell, expected=expected,
+                        )
+                    )
+        return bad
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "contents": {loc: list(cells) for loc, cells in self.contents.items()},
+            "generation": dict(self.generation),
+            "violations": list(self.violations),
+            "reads": self.reads,
+            "writes": self.writes,
+            "links": [list(link) for link in self._links],
+            "ops": list(self._ops),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.contents = {
+            loc: list(cells) for loc, cells in state["contents"].items()
+        }
+        self.generation = dict(state["generation"])
+        self.violations = list(state["violations"])
+        self.reads = state["reads"]
+        self.writes = state["writes"]
+        self._links = [list(link) for link in state["links"]]
+        self._ops = deque(state["ops"])

@@ -31,6 +31,23 @@ class TranslationTableError(MigrationError):
     """The physical<->machine translation table invariants were violated."""
 
 
+class SwapAbortError(MigrationError):
+    """A swap plan aborted mid-execution (injected fault or torn update).
+
+    ``recovered`` is True when the engine's data-safe late-abort path
+    ran: every page the aborted plan displaced was copied back home from
+    a surviving duplicate before the table rollback, so the restored
+    routing points at live data everywhere. False means the bare
+    rollback ran (``ResilienceConfig.data_safe_abort=False``, or the
+    abort came from a table-level corruption) — routing is restored but
+    data moved by the executed copy prefix may be dead.
+    """
+
+    def __init__(self, message: str, *, recovered: bool = False):
+        super().__init__(message)
+        self.recovered = recovered
+
+
 class SimulationError(ReproError):
     """A simulator was misused (e.g. fed records out of time order)."""
 

@@ -46,6 +46,9 @@ class HeterogeneousController:
             config.latency, config.offpkg_dram, onpkg=False, detailed=detailed
         )
         self._sb_shift = log2_exact(self.amap.subblock_bytes)
+        #: optional data-content mirror (set by EpochSimulator
+        #: track_data=True); fed every routed access, never read back
+        self.shadow = None
         self.accesses = 0
         self.total_latency = 0
         self.onpkg_accesses = 0
@@ -171,6 +174,17 @@ class HeterogeneousController:
         if offsets is None:
             offsets = self.amap.offset_of(chunk.addr)
         times = chunk.time
+        writes = chunk.rw != 0
+        if self.shadow is not None:
+            # the shadow checks at *original* access times: a stalled
+            # access still reads whatever the location holds once the
+            # stall window (during which data and routing flip together)
+            # has drained, and the op queue flushes by land time
+            if pages is None:
+                pages = self.amap.page_of(chunk.addr)
+            if subblocks is None:
+                subblocks = offsets >> self._sb_shift
+            self.shadow.process(times, pages, subblocks, on, machine, writes)
         latency = np.zeros(n, dtype=np.int64)
 
         # N design: execution halts while the swap copies data
@@ -186,7 +200,6 @@ class HeterogeneousController:
             # is preserved; anything else is a caller bug
             raise SimulationError("chunk times must be non-decreasing")
 
-        writes = chunk.rw != 0
         n_on = int(np.count_nonzero(on))
         if n_on:
             sel = np.flatnonzero(on)

@@ -31,8 +31,14 @@ import numpy as np
 
 from ..address import AddressMap
 from ..config import BusConfig, MigrationConfig, MigrationAlgorithm, ResilienceConfig
-from ..errors import FaultInjectionError, MigrationError, TranslationTableError
+from ..errors import (
+    FaultInjectionError,
+    MigrationError,
+    SwapAbortError,
+    TranslationTableError,
+)
 from ..resilience.degradation import (
+    ABORT_RECOVERED,
     MIGRATION_QUARANTINED,
     SWAP_FAILED,
     DegradationEvent,
@@ -45,6 +51,7 @@ from .algorithms import (
     build_swap_steps,
 )
 from .policies import EpochMonitor
+from .recovery import recovery_plan
 from .table import EMPTY, TranslationTable
 
 
@@ -83,10 +90,14 @@ class ActiveMigration:
     #: page -> [(change_time, on_package, machine_page)], time-ascending;
     #: resolution before the first entry is the pre-swap state
     timelines: dict[int, list[tuple[int, bool, int]]] = field(default_factory=dict)
+    #: True for the copy-back window of a data-safe abort recovery: the
+    #: table is already rolled back (no timelines), but execution stalls
+    #: while the surviving duplicates are copied home
+    recovery: bool = False
 
     @property
     def stall(self) -> bool:
-        return self.plan.stall
+        return self.plan.stall or self.recovery
 
     def in_flight(self, now: int) -> bool:
         return now < self.end
@@ -133,6 +144,13 @@ class MigrationEngine:
         self.degradation_events: list[DegradationEvent] = []
         self.epochs_observed = 0
         self._abort_at_step: int | None = None
+        self._abort_subblocks = 0
+        # data-safe abort recovery accounting
+        self.abort_recoveries = 0
+        self.recovery_bytes = 0
+        #: optional data-content mirror (set by EpochSimulator track_data=True);
+        #: fed every copy the plans perform, at the cycle it lands
+        self.shadow = None
         # last-touched sub-block per off-package page, as parallel sorted
         # arrays (one np.unique pass per epoch, no per-epoch dict build)
         self._last_sb_pages: np.ndarray | None = None
@@ -201,7 +219,11 @@ class MigrationEngine:
         except MigrationError as exc:
             self.swaps_failed += 1
             self.monitor.new_epoch()
-            self._note_failure(now, f"swap failed: {exc}")
+            # a data-safe recovered abort left the system fully
+            # consistent (routing AND data), so it never counts toward
+            # the quarantine threshold
+            recovered = getattr(exc, "recovered", False)
+            self._note_failure(now, f"swap failed: {exc}", count=not recovered)
             return SwapDecision(False, f"swap failed: {exc}")
         if decision.triggered:
             self.consecutive_failures = 0
@@ -215,8 +237,11 @@ class MigrationEngine:
         """
         self._note_failure(now, detail, record=False)
 
-    def _note_failure(self, now: int, detail: str, *, record: bool = True) -> None:
-        self.consecutive_failures += 1
+    def _note_failure(
+        self, now: int, detail: str, *, record: bool = True, count: bool = True
+    ) -> None:
+        if count:
+            self.consecutive_failures += 1
         if record:
             self.degradation_events.append(
                 DegradationEvent(
@@ -237,10 +262,13 @@ class MigrationEngine:
         """
         if self.quarantined:
             return
+        if self.shadow is not None:
+            self._shadow_quarantine(now)
         displaced = self.table.reset_identity()
         restore_bytes = displaced * self.amap.macro_page_bytes
         self.active = None
         self._abort_at_step = None
+        self._abort_subblocks = 0
         self.quarantined = True
         self.degradation_events.append(
             DegradationEvent(
@@ -253,10 +281,34 @@ class MigrationEngine:
             )
         )
 
-    def inject_abort(self, at_copy_step: int) -> None:
+    def _shadow_quarantine(self, now: int) -> None:
+        """Mirror the quarantine's physical copy-home in the shadow.
+
+        Data that already landed stays; not-yet-landed copy ops are
+        cancelled (the copy engine quiesces). An audit-path quarantine
+        on an unrepairable table is best-effort: if the corrupt state no
+        longer resolves a surviving copy for some page, that page's data
+        is lost and later reads will record violations.
+        """
+        self.shadow.flush(now)
+        self.shadow.drop_pending()
+        try:
+            target = TranslationTable(
+                self.amap, reserve_empty_slot=self.table._reserve_empty_slot
+            )
+            steps = recovery_plan(self.table, [], target_table=target)
+        except MigrationError:
+            return
+        for step in steps:
+            self.shadow.apply_copy(step.src, step.dst)
+
+    def inject_abort(self, at_copy_step: int, *, subblocks: int = 0) -> None:
         """Arm a one-shot fault: the next scheduled swap aborts at the
-        given copy step (modulo the plan's copy count)."""
+        given copy step (modulo the plan's copy count). ``subblocks``
+        lands that many sub-blocks first when the step is a Live fill
+        (a micro-boundary abort)."""
         self._abort_at_step = int(at_copy_step)
+        self._abort_subblocks = int(subblocks)
 
     def _evaluate_swap(self, now: int) -> SwapDecision:
         if self.active is not None and self.active.in_flight(now):
@@ -334,10 +386,13 @@ class MigrationEngine:
         # snapshot makes plan application transactional, so a torn swap
         # rolls back instead of leaving a half-written table
         abort_at: int | None = None
+        abort_subblocks = 0
         if self._abort_at_step is not None:
             n_copies = sum(1 for s in plan.steps if isinstance(s, CopyStep))
             abort_at = self._abort_at_step % max(1, n_copies)
+            abort_subblocks = self._abort_subblocks
             self._abort_at_step = None
+            self._abort_subblocks = 0
         snapshot = self.table.state_dict()
 
         affected = self._affected_pages(plan)
@@ -352,13 +407,38 @@ class MigrationEngine:
         fill: FillInfo | None = None
         incoming_end = None
         copy_index = 0
+        crit_first = first_subblock if cfg.critical_block_first else 0
+        #: copy prefix actually executed, as (src, dst, complete) — the
+        #: recovery planner replays it over the pre-swap content map
+        executed: list[tuple] = []
+        #: time-stamped shadow ops mirroring every executed copy
+        shadow_ops: list[tuple[int, str, tuple]] = []
         try:
             for step in plan.steps:
                 if isinstance(step, CopyStep):
                     if abort_at is not None and copy_index == abort_at:
+                        detail = ""
+                        if live and step.incoming and abort_subblocks > 0:
+                            # micro-boundary abort: part of the Live fill
+                            # already landed (destination is garbage as a
+                            # whole page, hence complete=False)
+                            duration = self._copy_cycles(step)
+                            n_sb = self.amap.subblocks_per_page
+                            sbc = max(1, duration // n_sb)
+                            landed = min(int(abort_subblocks), n_sb - 1)
+                            order = tuple(
+                                (crit_first + k) % n_sb for k in range(landed)
+                            )
+                            executed.append((step.src, step.dst, False))
+                            adv = min(landed * sbc, duration)
+                            shadow_ops.append(
+                                (t + adv, "copy", (step.src, step.dst, order))
+                            )
+                            t += adv
+                            detail = f" after {landed} landed sub-block(s)"
                         raise FaultInjectionError(
                             f"swap {plan.case.value} aborted at copy step "
-                            f"{copy_index} ({step.label})"
+                            f"{copy_index} ({step.label}){detail}"
                         )
                     copy_index += 1
                     duration = self._copy_cycles(step)
@@ -371,14 +451,18 @@ class MigrationEngine:
                             end=t + duration,
                             subblock_cycles=max(1, duration // n_sb),
                             n_subblocks=n_sb,
-                            first_subblock=(
-                                first_subblock if cfg.critical_block_first else 0
-                            ),
+                            first_subblock=crit_first,
                             live=live,
                             old_onpkg=before[plan.mru][0],
                             old_machine=before[plan.mru][1],
                         )
                         incoming_end = t + duration
+                    if self.shadow is not None:
+                        self._collect_shadow_copy(
+                            shadow_ops, step, t, duration,
+                            live and step.incoming, crit_first,
+                        )
+                    executed.append((step.src, step.dst, True))
                     t += duration
                     # a completed incoming copy clears the F bit
                     if step.incoming and self.table.filling:
@@ -392,8 +476,29 @@ class MigrationEngine:
                     step.apply(self.table)
                     self._record_changes(timelines, before, t)
         except (FaultInjectionError, TranslationTableError) as exc:
-            self.table.load_state_dict(snapshot)
-            raise MigrationError(str(exc)) from exc
+            recovered = False
+            if self.resilience.data_safe_abort:
+                end = self._recover_abort(
+                    now, t, snapshot, executed, shadow_ops, exc
+                )
+                # the copy-back window stalls execution like an N-design
+                # exchange; the table is already back at the snapshot
+                self.active = ActiveMigration(
+                    plan=plan, start=now, end=end, fill=None, timelines={},
+                    recovery=True,
+                )
+                recovered = isinstance(exc, FaultInjectionError)
+            else:
+                if self.shadow is not None:
+                    # bare rollback: the executed copies physically
+                    # happened — mirror them so the shadow exposes
+                    # exactly what the memory now holds
+                    self.shadow.flush(now)
+                    for _, kind, payload in shadow_ops:
+                        if kind == "copy":
+                            self.shadow.apply_copy(*payload)
+                self.table.load_state_dict(snapshot)
+            raise SwapAbortError(str(exc), recovered=recovered) from exc
 
         if plan.stall:
             # N design: the table is updated only once data finished moving,
@@ -402,6 +507,22 @@ class MigrationEngine:
             for page, tl in timelines.items():
                 final = tl[-1]
                 timelines[page] = [tl[0], (now, final[1], final[2])]
+
+        if self.shadow is not None:
+            if plan.stall:
+                # nothing executes during the window: data and routing
+                # flip together at `now`, and no forwarding link is ever
+                # observable
+                for _, kind, payload in shadow_ops:
+                    if kind == "copy":
+                        self.shadow.schedule(now, "copy", payload)
+                self.shadow.schedule(now, "close", ())
+            else:
+                for op_t, kind, payload in shadow_ops:
+                    self.shadow.schedule(op_t, kind, payload)
+                # the plan's table updates are all live at its end: the
+                # copy engine quiesces and its forwarding links die
+                self.shadow.schedule(t, "close", ())
 
         self.active = ActiveMigration(
             plan=plan, start=now, end=t, fill=None if plan.stall else fill,
@@ -412,6 +533,97 @@ class MigrationEngine:
         self.cross_boundary_bytes += plan.cross_boundary_bytes
         if incoming_end is None:
             raise MigrationError("swap plan has no incoming copy")  # pragma: no cover
+
+    def _collect_shadow_copy(
+        self,
+        ops: list[tuple[int, str, tuple]],
+        step: CopyStep,
+        start: int,
+        duration: int,
+        live_fill: bool,
+        first_subblock: int,
+    ) -> None:
+        """Translate one executed copy into time-stamped shadow ops.
+
+        A Live fill lands sub-block by sub-block in critical-first
+        wraparound order (mirroring :meth:`FillInfo.available_at`, with
+        land times capped at the copy's end); any other copy lands whole
+        at its end. A fully-landed copy opens a write-forwarding link.
+        """
+        end = start + duration
+        if live_fill:
+            n_sb = self.amap.subblocks_per_page
+            sbc = max(1, duration // n_sb)
+            for k in range(n_sb):
+                sb = (first_subblock + k) % n_sb
+                ops.append(
+                    (min(start + (k + 1) * sbc, end), "copy",
+                     (step.src, step.dst, (sb,)))
+                )
+        else:
+            ops.append((end, "copy", (step.src, step.dst, None)))
+        ops.append((end, "link", (step.src, step.dst)))
+
+    def _recover_abort(
+        self,
+        now: int,
+        t_abort: int,
+        snapshot: dict,
+        executed: list[tuple],
+        shadow_ops: list[tuple[int, str, tuple]],
+        exc: Exception,
+    ) -> int:
+        """Data-safe late abort: copy surviving duplicates home, then
+        restore the pre-swap table.
+
+        A bare table rollback restores *routing* but not *data*: past
+        the Ω-resolution copy the victim page's home bytes are already
+        overwritten, so the rolled-back table would route reads at dead
+        data (the protocol checker's ``valid-copy`` counterexample) —
+        and an N-design exchange torn between copies strands a page's
+        only live copy in the bounce buffer under a bit-identical table.
+        The recovery planner replays the executed copy prefix over the
+        pre-swap content map and emits copy-back moves, preferring the
+        surviving on-package duplicate; their transfer time stalls
+        execution exactly like an N-design exchange. Returns the cycle
+        the copy-back window closes.
+        """
+        pre = TranslationTable(
+            self.amap, reserve_empty_slot=self.table._reserve_empty_slot
+        )
+        pre.load_state_dict(snapshot)
+        try:
+            steps = recovery_plan(pre, executed, prefer_table=self.table)
+        except (MigrationError, TranslationTableError):  # pragma: no cover
+            # unrepairable mid-state; fall back to bare rollback (the
+            # shadow, if tracking, will expose whatever was lost)
+            steps = []
+        if self.shadow is not None:
+            # everything up to the abort physically happened, and the
+            # copy-back runs under stall — apply both synchronously
+            self.shadow.flush(now)
+            for _, kind, payload in shadow_ops:
+                if kind == "copy":
+                    self.shadow.apply_copy(*payload)
+            for step in steps:
+                self.shadow.apply_copy(step.src, step.dst)
+        self.table.load_state_dict(snapshot)
+        cycles = sum(self._copy_cycles(s) for s in steps)
+        nbytes = sum(s.nbytes for s in steps)
+        self.abort_recoveries += 1
+        self.recovery_bytes += nbytes
+        end = t_abort + cycles
+        self.degradation_events.append(
+            DegradationEvent(
+                time=now, epoch=self.epochs_observed, kind=ABORT_RECOVERED,
+                detail=(
+                    f"{exc}; {len(steps)} copy-back step(s), {nbytes} bytes, "
+                    f"stalled until cycle {end}"
+                ),
+                recovered=True,
+            )
+        )
+        return end
 
     def _affected_pages(self, plan: SwapPlan) -> set[int]:
         pages = {plan.mru, plan.lru}
@@ -466,6 +678,9 @@ class MigrationEngine:
             "degradation_events": list(self.degradation_events),
             "epochs_observed": self.epochs_observed,
             "abort_at_step": self._abort_at_step,
+            "abort_subblocks": self._abort_subblocks,
+            "abort_recoveries": self.abort_recoveries,
+            "recovery_bytes": self.recovery_bytes,
             "last_subblock": (
                 {}
                 if self._last_sb_pages is None
@@ -490,6 +705,10 @@ class MigrationEngine:
         self.degradation_events = list(state["degradation_events"])
         self.epochs_observed = state["epochs_observed"]
         self._abort_at_step = state["abort_at_step"]
+        # .get(): checkpoints written before data-safe abort recovery
+        self._abort_subblocks = state.get("abort_subblocks", 0)
+        self.abort_recoveries = state.get("abort_recoveries", 0)
+        self.recovery_bytes = state.get("recovery_bytes", 0)
         sb = dict(state["last_subblock"])
         if sb:
             pages = np.array(sorted(sb), dtype=np.int64)

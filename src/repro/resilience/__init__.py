@@ -28,6 +28,7 @@ from .checkpoint import (
     save_checkpoint,
 )
 from .degradation import (
+    ABORT_RECOVERED,
     AUDIT_FAILED,
     DRAM_CORRECTED,
     DRAM_RETRIED,
@@ -51,6 +52,7 @@ from .faults import (
 )
 
 __all__ = [
+    "ABORT_RECOVERED",
     "AUDIT_FAILED",
     "CHECKPOINT_MAGIC",
     "CHECKPOINT_VERSION",

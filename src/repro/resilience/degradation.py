@@ -17,6 +17,7 @@ from dataclasses import dataclass
 #: canonical event kinds (free-form strings are allowed, these are the
 #: ones the built-in machinery emits)
 SWAP_FAILED = "swap-failed"
+ABORT_RECOVERED = "abort-recovered"
 AUDIT_FAILED = "audit-failed"
 TABLE_REPAIRED = "table-repaired"
 MIGRATION_QUARANTINED = "migration-quarantined"

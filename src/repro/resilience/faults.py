@@ -55,11 +55,16 @@ class FaultEvent:
     ``param`` is kind-specific: the copy step index for ``ABORT_SWAP``,
     the slot index for the bit flips, the error count for
     ``DRAM_TRANSIENT`` (0 picks a seeded default).
+
+    ``subblocks`` refines ``ABORT_SWAP`` only: when the targeted copy
+    step is a Live Migration fill, that many sub-blocks land before the
+    abort fires (a micro-boundary abort); 0 aborts at the step boundary.
     """
 
     epoch: int
     kind: FaultKind
     param: int = 0
+    subblocks: int = 0
 
 
 class FaultPlan:

@@ -1,0 +1,106 @@
+"""The stdlib Cobertura coverage gate (tools/check_coverage.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_coverage",
+    Path(__file__).resolve().parent.parent / "tools" / "check_coverage.py",
+)
+check_coverage = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_coverage)
+
+
+def cobertura(files: dict[str, list[tuple[int, int]]]) -> str:
+    """Handcraft a minimal Cobertura report: filename -> (line, hits)."""
+    classes = []
+    for filename, lines in files.items():
+        rows = "".join(
+            f'<line number="{n}" hits="{h}"/>' for n, h in lines
+        )
+        classes.append(
+            f'<class name="m" filename="{filename}"><methods/>'
+            f"<lines>{rows}</lines></class>"
+        )
+    return (
+        '<?xml version="1.0"?><coverage line-rate="0"><packages><package '
+        f'name="p"><classes>{"".join(classes)}</classes></package>'
+        "</packages></coverage>"
+    )
+
+
+@pytest.fixture
+def write_xml(tmp_path):
+    def _write(files):
+        path = tmp_path / "coverage.xml"
+        path.write_text(cobertura(files))
+        return str(path)
+
+    return _write
+
+
+class TestCollect:
+    def test_counts_covered_and_total_lines(self, write_xml):
+        path = write_xml(
+            {"src/repro/migration/engine.py": [(1, 3), (2, 0), (3, 1)]}
+        )
+        per_file = check_coverage.collect_line_rates(path)
+        assert per_file == {"repro/migration/engine.py": (2, 3)}
+
+    def test_src_prefix_and_backslashes_normalized(self, write_xml):
+        path = write_xml({"src\\repro\\datamodel\\shadow.py": [(1, 1)]})
+        per_file = check_coverage.collect_line_rates(path)
+        assert per_file == {"repro/datamodel/shadow.py": (1, 1)}
+
+    def test_unreadable_report_is_a_clean_exit(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            check_coverage.collect_line_rates(str(tmp_path / "absent.xml"))
+
+
+class TestGate:
+    def test_passes_at_the_floor(self, write_xml, capsys):
+        path = write_xml(
+            {
+                "src/repro/migration/engine.py": [(n, 1) for n in range(9)]
+                + [(9, 0)],
+                "src/repro/datamodel/shadow.py": [(1, 1)],
+            }
+        )
+        assert check_coverage.main([path, "--min-percent", "90"]) == 0
+        out = capsys.readouterr().out
+        assert "repro/migration: 9/10 lines, 90.0%" in out
+
+    def test_fails_below_the_floor(self, write_xml, capsys):
+        path = write_xml(
+            {
+                "src/repro/migration/engine.py": [(1, 1), (2, 0)],
+                "src/repro/datamodel/shadow.py": [(1, 1)],
+            }
+        )
+        assert check_coverage.main([path, "--min-percent", "90"]) == 1
+        assert "50.0% < 90%" in capsys.readouterr().err
+
+    def test_unmeasured_target_fails_loudly(self, write_xml, capsys):
+        path = write_xml({"src/repro/migration/engine.py": [(1, 1)]})
+        assert check_coverage.main([path]) == 1
+        assert "no lines measured" in capsys.readouterr().err
+
+    def test_explicit_targets_override_defaults(self, write_xml):
+        path = write_xml({"src/repro/core/simulator.py": [(1, 1)]})
+        rc = check_coverage.main([path, "--target", "repro/core"])
+        assert rc == 0
+
+    def test_other_trees_do_not_dilute_a_target(self, write_xml):
+        # a fully-covered unrelated tree must not mask a failing target
+        path = write_xml(
+            {
+                "src/repro/core/simulator.py": [(n, 1) for n in range(100)],
+                "src/repro/migration/engine.py": [(1, 0), (2, 0)],
+                "src/repro/datamodel/shadow.py": [(1, 1)],
+            }
+        )
+        assert check_coverage.main([path]) == 1

@@ -39,6 +39,11 @@ N_EPOCHS = 10
 SEEDS = range(64)
 ALGOS = ["N", "N-1", "live"]
 
+#: scenario IDs are sorted up front so every pytest worker (xdist) and
+#: cache key sees the identical, order-independent parametrization
+SCENARIOS = sorted((seed, algo) for seed in SEEDS for algo in ALGOS)
+SCENARIO_IDS = [f"{algo}-{seed:03d}" for seed, algo in SCENARIOS]
+
 
 def campaign_config(algo: str) -> SystemConfig:
     return SystemConfig(
@@ -52,8 +57,7 @@ def campaign_config(algo: str) -> SystemConfig:
 
 # 64 seeds x 3 algorithms = 192 in-memory scenarios; the trace-file
 # sweep below adds 3 x 8 = 24 more for a 216-scenario campaign.
-@pytest.mark.parametrize("algo", ALGOS)
-@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(("seed", "algo"), SCENARIOS, ids=SCENARIO_IDS)
 def test_seeded_fault_scenario(seed, algo):
     cfg = campaign_config(algo)
     trace = synthetic_trace(n=N_EPOCHS * INTERVAL, seed=seed)
@@ -130,11 +134,16 @@ def test_sweep_under_campaign_supervisor(tmp_path):
     supervisor fans scenarios out to worker processes, records every
     point in the manifest, and a re-invocation recomputes nothing."""
     manifest = tmp_path / "sweep.json"
-    tasks = [
-        CampaignTask(f"fault/{algo}/{seed}", fault_scenario_point, (seed, algo))
-        for algo in ALGOS
-        for seed in range(6)
-    ]
+    tasks = sorted(
+        (
+            CampaignTask(
+                f"fault/{algo}/{seed}", fault_scenario_point, (seed, algo)
+            )
+            for algo in ALGOS
+            for seed in range(6)
+        ),
+        key=lambda task: task.task_id,
+    )
     supervisor = CampaignSupervisor(
         jobs=2, task_timeout=300.0,
         retry=RetryPolicy(max_attempts=2, base_delay=0.1),
@@ -154,8 +163,13 @@ def test_sweep_under_campaign_supervisor(tmp_path):
     assert again.result("fault/live/5") == report.result("fault/live/5")
 
 
-@pytest.mark.parametrize("algo", ALGOS)
-@pytest.mark.parametrize("case", range(8))
+FILE_CASES = sorted((case, algo) for case in range(8) for algo in ALGOS)
+
+
+@pytest.mark.parametrize(
+    ("case", "algo"), FILE_CASES,
+    ids=[f"{algo}-{case}" for case, algo in FILE_CASES],
+)
 def test_trace_file_fault_scenario(case, algo, tmp_path):
     """Torn/corrupted trace files: salvage what is whole, reject cleanly."""
     cfg = campaign_config(algo)

@@ -92,9 +92,39 @@ class TestFaultsCommand:
         assert run(["faults", "--json"]) == 0
         data = json.loads(capsys.readouterr().out)
         assert all(
-            set(row) == {"fault", "scenario", "invariants", "note"}
+            set(row) == {"fault", "scenario", "invariants", "note",
+                         "expect_clean"}
             for row in data
         )
+
+    def test_seu_rows_marked_expected(self, capsys):
+        assert run(["faults"]) == 0
+        out = capsys.readouterr().out
+        assert "(expected: audit repairs)" in out
+
+    def test_fail_on_violation_passes_when_recovery_clean(self):
+        # every expect_clean scenario (all the abort landings) must
+        # model-recover with zero violated invariants — the CI gate
+        assert run(["faults", "--fail-on-violation"]) == 0
+
+    def test_fail_on_violation_trips_on_dirty_clean_scenario(self, capsys,
+                                                             monkeypatch):
+        from repro.analysis import cli as cli_mod
+        from repro.analysis.protocol import FaultImpact
+
+        def fake_analysis():
+            return [
+                FaultImpact(fault="abort-swap", scenario="s",
+                            invariants=("valid-copy",), note="n"),
+            ]
+
+        monkeypatch.setattr(
+            cli_mod, "fault_invariant_analysis", fake_analysis
+        )
+        assert run(["faults", "--fail-on-violation"]) == 1
+        assert "expected clean" in capsys.readouterr().out
+        # without the flag the table still prints but exits 0
+        assert run(["faults"]) == 0
 
 
 class TestRulesCommand:

@@ -230,7 +230,12 @@ class TestDegradedMode:
         )
 
     def test_quarantine_after_k_failures(self):
-        cfg = config("live", max_consecutive_failures=2)
+        # data-safe recovered aborts are consistency-preserving and never
+        # count toward quarantine; this test exercises the legacy
+        # bare-rollback mode where they do
+        cfg = config(
+            "live", max_consecutive_failures=2, data_safe_abort=False
+        )
         n_epochs = 12
         trace = synthetic_trace(n=n_epochs * INTERVAL, seed=3)
         sim = repro.EpochSimulator(cfg)
@@ -258,7 +263,7 @@ class TestDegradedMode:
     def test_degraded_latency_within_5pct_of_static(self, algo):
         """Acceptance: a fully degraded run serves the whole trace with
         average latency within 5% of the static-mapping baseline."""
-        cfg = config(algo, max_consecutive_failures=1)
+        cfg = config(algo, max_consecutive_failures=1, data_safe_abort=False)
         n_epochs = 16
         trace = synthetic_trace(n=n_epochs * INTERVAL, seed=7)
 
@@ -326,14 +331,16 @@ class TestAbortRollback:
                 assert value == after[key], key
         engine.table.audit()
         # a later hot page still migrates: one failure != quarantine
+        # (wait out the data-safe recovery's copy-back stall window)
+        later = max(300, engine.busy_until + 100)
         engine.observe_epoch(
             slots=np.array([], dtype=np.int64),
             slot_times=np.array([], dtype=np.int64),
             offpkg_pages=np.full(5, hot, dtype=np.int64),
-            off_times=np.arange(200, 205, dtype=np.int64),
+            off_times=np.arange(later - 100, later - 95, dtype=np.int64),
             off_subblocks=np.zeros(5, dtype=np.int64),
         )
-        assert engine.maybe_swap(now=300).triggered
+        assert engine.maybe_swap(now=later).triggered
 
 
 # ----------------------------------------------------------------------
@@ -478,7 +485,9 @@ class TestResilienceConfig:
         assert tuned.migration == cfg.migration
 
     def test_report_table_renders(self):
-        cfg = config("live", max_consecutive_failures=1)
+        cfg = config(
+            "live", max_consecutive_failures=1, data_safe_abort=False
+        )
         n_epochs = 6
         sim = repro.EpochSimulator(cfg)
         sim.attach_faults(FaultPlan(
