@@ -200,6 +200,9 @@ class _Machine:
         self.amap = table.amap
         self.S = self.amap.subblocks_per_page
         self.ghost = self.amap.ghost_page
+        #: controller-private pages carrying no program data (Ω and any
+        #: RAS retirement spares)
+        self.dead = frozenset(table.reserved_pages) | {self.ghost}
         if table.filling:
             raise AnalysisError("checker requires a quiescent starting table")
         #: location -> per-sub-block (page, version) or None (garbage)
@@ -207,7 +210,7 @@ class _Machine:
         #: (page, subblock) -> current data version
         self.version: dict[tuple[int, int], int] = {}
         for page in range(self.amap.n_total_pages):
-            if page == self.ghost:
+            if page in self.dead:
                 continue
             on, machine = table.resolve(page)
             loc: Location = ("slot", machine) if on else ("mach", machine)
@@ -701,7 +704,8 @@ def _model_recovery(m: _Machine, pre_state: dict) -> list[CopyStep]:
 
     table = m.table
     pre = TranslationTable(
-        m.amap, reserve_empty_slot=table._reserve_empty_slot
+        m.amap, reserve_empty_slot=table._reserve_empty_slot,
+        reserved_pages=table.reserved_pages,
     )
     pre.load_state_dict(pre_state)
 
@@ -721,9 +725,7 @@ def _model_recovery(m: _Machine, pre_state: dict) -> list[CopyStep]:
         on, machine = t.resolve(page)
         return ("slot", machine) if on else ("mach", machine)
 
-    pages = [
-        p for p in range(m.amap.n_total_pages) if p != m.amap.ghost_page
-    ]
+    pages = [p for p in range(m.amap.n_total_pages) if p not in m.dead]
     target_of = {p: loc_of(pre, p) for p in pages}
     prefer = {p: loc_of(table, p) for p in pages}
     steps = recovery_moves(
@@ -741,7 +743,7 @@ def _sweep(machine: _Machine, *, live: bool = False) -> tuple[str, ...]:
     bad: set[str] = set()
     table = machine.table
     for page in range(machine.amap.n_total_pages):
-        if page == machine.ghost:
+        if page in machine.dead:
             continue
         for sb in range(machine.S):
             hit = machine.read_check(page, sb, live=live)
@@ -925,6 +927,84 @@ def fault_invariant_analysis(amap: AddressMap | None = None) -> list[FaultImpact
             note=(
                 "never touches translation state; detect/correct/retry is "
                 "the EccModel's job (resilience.faults.EccModel)"
+            ),
+        )
+    )
+
+    # -- CE_BURST: predictive frame retirement with data copy-out -------
+    from ..ras.retirement import retirement_moves  # local: avoid cycle
+
+    spare = amap.ghost_page - 1
+
+    def fresh_ras() -> TranslationTable:
+        return TranslationTable(
+            amap, reserve_empty_slot=True, reserved_pages=frozenset({spare})
+        )
+
+    def retire(m: _Machine, slot: int) -> None:
+        for step in retirement_moves(
+            m.table, slot, spare, amap.macro_page_bytes
+        ):
+            m.copy(step)
+            m.trace.append(f"retirement: {step.label}")
+        m.table.retire_slot(slot, spare)
+
+    # (a) the dying frame is identity-mapped: one copy sends its page to
+    #     the spare, and the slot leaves the pairing invariant for good
+    t = fresh_ras()
+    m = _Machine(t)
+    retire(m, 1)
+    out.append(
+        FaultImpact(
+            fault=FaultKind.CE_BURST.value,
+            scenario="CE threshold crossed on an identity-mapped frame, "
+                     "predictive retirement",
+            invariants=_sweep(m),
+            note=(
+                "the frame's home page moves to the reserved spare before "
+                "the slot is marked retired; every page keeps exactly one "
+                "live copy and the table still audits clean"
+            ),
+        )
+    )
+
+    # (b) the dying frame holds a migrated page (transposition): the
+    #     home page's copy at the occupant's machine page moves to the
+    #     spare FIRST, then the occupant returns home over it
+    t = fresh_ras()
+    mru, lru = case_a_inputs(t)
+    plan = build_swap_steps(t, mru, lru)
+    m = _Machine(t)
+    _execute_plan(m, plan, live=False, first_subblock=0,
+                  on_boundary=lambda b, i, label: None)
+    target = int(t.slot_of(mru))
+    retire(m, target)
+    out.append(
+        FaultImpact(
+            fault=FaultKind.CE_BURST.value,
+            scenario="CE threshold crossed on a frame holding a migrated "
+                     "page, predictive retirement",
+            invariants=_sweep(m),
+            note=(
+                "retirement of a transposed frame is order-sensitive: the "
+                "occupant's homeward copy overwrites the home page's only "
+                "off-package copy, so the spare copy must land first"
+            ),
+        )
+    )
+
+    # -- SCRUB_LATENT: no translation-state impact ----------------------
+    t = fresh_ras()
+    m = _Machine(t)
+    out.append(
+        FaultImpact(
+            fault=FaultKind.SCRUB_LATENT.value,
+            scenario="latent CE surfaced by a patrol-scrub pass",
+            invariants=_sweep(m),   # sanity: a clean table sweeps clean
+            note=(
+                "never touches translation state; the scrub read feeds the "
+                "CE telemetry, whose threshold drives CE_BURST-style "
+                "retirement through the same audited path"
             ),
         )
     )

@@ -50,7 +50,29 @@ from .retry import Clock, RetryPolicy
 SKIPPED = "skipped"
 
 _KILL_GRACE_S = 2.0      # SIGTERM -> SIGKILL escalation window
-_POLL_INTERVAL_S = 0.05  # scheduler wake-up granularity
+_POLL_INTERVAL_S = 0.05  # default scheduler wake-up granularity
+
+#: env override for the worker heartbeat period, in milliseconds
+HEARTBEAT_ENV = "REPRO_HEARTBEAT_MS"
+_DEFAULT_HEARTBEAT_S = 0.5
+
+
+def _env_heartbeat_interval() -> float:
+    """Heartbeat period from ``REPRO_HEARTBEAT_MS``, else the default."""
+    raw = os.environ.get(HEARTBEAT_ENV, "").strip()
+    if not raw:
+        return _DEFAULT_HEARTBEAT_S
+    try:
+        ms = float(raw)
+    except ValueError:
+        raise CampaignError(
+            f"{HEARTBEAT_ENV} must be a number of milliseconds, got {raw!r}"
+        ) from None
+    if ms < 0:
+        raise CampaignError(
+            f"{HEARTBEAT_ENV} must be >= 0 (0 disables heartbeats), got {raw!r}"
+        )
+    return ms / 1000.0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -212,8 +234,9 @@ class CampaignSupervisor:
         task_timeout: float | None = None,
         retry: RetryPolicy | None = None,
         manifest_path=None,
-        heartbeat_interval: float = 0.5,
+        heartbeat_interval: float | None = None,
         heartbeat_timeout: float | None = None,
+        poll_interval: float = _POLL_INTERVAL_S,
         mp_context=None,
         clock: Clock | None = None,
         trace_cache_dir: str | os.PathLike | None = None,
@@ -226,12 +249,26 @@ class CampaignSupervisor:
             raise CampaignError(
                 f"heartbeat_timeout must be positive, got {heartbeat_timeout}"
             )
+        if poll_interval <= 0:
+            raise CampaignError(
+                f"poll_interval must be positive, got {poll_interval}"
+            )
+        # resolution order: explicit argument > REPRO_HEARTBEAT_MS env
+        # (milliseconds, for deploy-side tuning without code changes) >
+        # the 0.5 s default; 0 disables worker heartbeats entirely
+        if heartbeat_interval is None:
+            heartbeat_interval = _env_heartbeat_interval()
+        if heartbeat_interval < 0:
+            raise CampaignError(
+                f"heartbeat_interval must be >= 0, got {heartbeat_interval}"
+            )
         self.jobs = jobs
         self.task_timeout = task_timeout
         self.retry = retry or RetryPolicy()
         self.manifest_path = manifest_path
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
+        self.poll_interval = poll_interval
         self.mp_context = mp_context or multiprocessing.get_context()
         self.clock = clock or Clock()
         self.trace_cache_dir = (
@@ -414,10 +451,10 @@ class CampaignSupervisor:
                  if slot.message is None}
         if not conns:
             if running:
-                self.clock.sleep(_POLL_INTERVAL_S)
+                self.clock.sleep(self.poll_interval)
             return
         ready = multiprocessing.connection.wait(
-            list(conns), timeout=_POLL_INTERVAL_S
+            list(conns), timeout=self.poll_interval
         )
         for conn in ready:
             slot = conns[conn]

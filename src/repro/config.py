@@ -304,6 +304,89 @@ class ResilienceConfig:
 
 
 @dataclass(frozen=True)
+class RASConfig:
+    """Runtime reliability (RAS) knobs: CE telemetry, patrol scrub,
+    predictive page retirement, and off-package write-endurance.
+
+    Everything defaults off (``enabled=False``); the simulator's default
+    path — including the fused fast path and every published number —
+    is bit-identical unless a run opts in. With ``enabled=True`` the
+    simulator runs stepwise and attaches a
+    :class:`~repro.ras.controller.RasController`.
+    """
+
+    enabled: bool = False
+    #: seed for the per-epoch background-CE arrival stream (independent
+    #: of any attached :class:`~repro.resilience.faults.FaultPlan` seed)
+    seed: int = 0
+    #: probability an on-package frame takes a background correctable
+    #: error in a given epoch (per usable frame, Bernoulli per epoch)
+    ce_base_rate: float = 0.0
+    #: leaky-bucket level at which a frame is predictively retired
+    ce_threshold: int = 8
+    #: bucket decay per epoch (CEs must *cluster* to trigger retirement)
+    ce_leak: float = 0.25
+    #: cycles one inline CE correction adds to the epoch
+    ce_cost_cycles: int = 20
+    #: epochs between patrol-scrub passes (0 disables the scrubber)
+    scrub_interval_epochs: int = 0
+    #: usable frames scrubbed per pass (round-robin cursor)
+    scrub_frames_per_pass: int = 1
+    #: one scrub read covers this many bytes of a frame
+    scrub_stride_bytes: int = 4 * KB
+    #: off-package machine pages (just below the Ω ghost page) reserved
+    #: as retirement spares — invisible to the trace address space
+    spare_pages: int = 2
+    #: never retire below this many usable on-package frames
+    min_usable_frames: int = 2
+    #: swap-candidate score penalty per ``wear_window`` lifetime writes
+    #: to the candidate's off-package machine page (0 = endurance-blind)
+    wear_penalty: float = 0.0
+    #: lifetime-write normalisation window for the wear penalty
+    wear_window: int = 1024
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.ce_base_rate <= 1.0:
+            raise ConfigError(
+                f"ce_base_rate {self.ce_base_rate} outside [0, 1]"
+            )
+        if self.ce_threshold <= 0:
+            raise ConfigError("ce_threshold must be positive")
+        if self.ce_leak < 0:
+            raise ConfigError("ce_leak must be >= 0")
+        if self.ce_cost_cycles < 0:
+            raise ConfigError("ce_cost_cycles must be >= 0")
+        if self.scrub_interval_epochs < 0:
+            raise ConfigError("scrub_interval_epochs must be >= 0")
+        if self.scrub_frames_per_pass <= 0 or self.scrub_stride_bytes <= 0:
+            raise ConfigError(
+                "scrub_frames_per_pass and scrub_stride_bytes must be positive"
+            )
+        if self.spare_pages < 0:
+            raise ConfigError("spare_pages must be >= 0")
+        if self.min_usable_frames < 1:
+            raise ConfigError("min_usable_frames must be >= 1")
+        if self.wear_penalty < 0 or self.wear_window <= 0:
+            raise ConfigError(
+                "wear_penalty must be >= 0 and wear_window positive"
+            )
+        if self.enabled and self.spare_pages == 0:
+            raise ConfigError(
+                "an enabled RAS subsystem needs at least one spare page "
+                "to retire into"
+            )
+
+    def reserved_pages(self, amap: AddressMap) -> frozenset[int]:
+        """The spare machine pages: the ``spare_pages`` off-package
+        pages directly below the Ω ghost page. Empty when disabled."""
+        if not self.enabled or self.spare_pages == 0:
+            return frozenset()
+        return frozenset(
+            range(amap.ghost_page - self.spare_pages, amap.ghost_page)
+        )
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Top-level configuration tying the subsystems together."""
 
@@ -317,11 +400,24 @@ class SystemConfig:
     bus: BusConfig = field(default_factory=BusConfig)
     power: PowerConfig = field(default_factory=PowerConfig)
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    ras: RASConfig = field(default_factory=RASConfig)
     frequency_hz: float = 3.2e9
 
     def __post_init__(self) -> None:
         # Fail fast: AddressMap validates the geometry.
-        self.address_map()
+        amap = self.address_map()
+        if self.ras.enabled:
+            offpkg_pages = amap.n_total_pages - amap.n_onpkg_pages - 1
+            if self.ras.spare_pages >= offpkg_pages:
+                raise ConfigError(
+                    f"RAS reserves {self.ras.spare_pages} spare pages but "
+                    f"only {offpkg_pages} off-package pages exist below Ω"
+                )
+            if self.ras.min_usable_frames > amap.n_onpkg_pages:
+                raise ConfigError(
+                    f"min_usable_frames {self.ras.min_usable_frames} exceeds "
+                    f"the {amap.n_onpkg_pages} on-package frames"
+                )
 
     def address_map(self) -> AddressMap:
         return AddressMap(
@@ -338,6 +434,10 @@ class SystemConfig:
     def with_resilience(self, **kwargs) -> "SystemConfig":
         """Return a copy with resilience fields replaced."""
         return replace(self, resilience=replace(self.resilience, **kwargs))
+
+    def with_ras(self, **kwargs) -> "SystemConfig":
+        """Return a copy with RAS fields replaced."""
+        return replace(self, ras=replace(self.ras, **kwargs))
 
 
 def paper_config(**migration_kwargs) -> SystemConfig:

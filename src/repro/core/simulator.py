@@ -19,8 +19,12 @@ what the checkpoint/resume machinery serialises.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from ..ras import RasReport
 
 from ..config import SystemConfig
 from ..errors import SimulationError, TranslationTableError, WatchdogError
@@ -70,6 +74,8 @@ class SimulationResult:
     #: demand reads that returned stale/garbage data per the shadow
     #: memory (always 0 unless the simulator ran with track_data=True)
     data_violations: int = 0
+    #: RAS summary (None unless the run had ``RASConfig(enabled=True)``)
+    ras: RasReport | None = None
 
     @property
     def average_latency(self) -> float:
@@ -113,10 +119,19 @@ class EpochSimulator:
         self.controller = HeterogeneousController(
             config, detailed=detailed_dram, translation_overhead=migrate
         )
+        amap = config.address_map()
         self.engine = MigrationEngine(
-            config.address_map(), config.migration, config.bus,
+            amap, config.migration, config.bus,
             resilience=config.resilience,
+            reserved_pages=config.ras.reserved_pages(amap),
         )
+        #: runtime RAS orchestrator (None keeps the default path — and
+        #: its import footprint — identical to a RAS-less build)
+        self._ras = None
+        if config.ras.enabled:
+            from ..ras import RasController
+
+            self._ras = RasController(config, self.engine, self.controller)
         #: optional data-content shadow memory (pure bookkeeping: it
         #: never feeds back into routing or timing, but it does force
         #: the stepwise epoch loop)
@@ -180,6 +195,7 @@ class EpochSimulator:
             self.fused
             and self._fault_plan is None
             and self.shadow is None
+            and self._ras is None
             and not resilience.audit_interval
             and not resilience.epoch_cycle_budget
             and hasattr(self.controller.onpkg_model.device, "service_segmented")
@@ -199,6 +215,14 @@ class EpochSimulator:
             # reject hostile traces with a clear AddressError up front
             # instead of a table-internal failure mid-translation
             self.controller.amap.check_addresses(trace.addr)
+            reserved = self.engine.table.reserved_pages
+            if reserved:
+                pages = self.controller.amap.page_of(trace.addr)
+                if np.isin(pages, np.fromiter(reserved, np.int64)).any():
+                    raise SimulationError(
+                        "trace touches a reserved RAS spare page; spares "
+                        "are controller-private and carry no program data"
+                    )
             if self._should_fuse():
                 self._run_fused(trace, result)
             else:
@@ -215,6 +239,8 @@ class EpochSimulator:
         result.faults_injected = self._faults_injected
         if self.shadow is not None:
             result.data_violations = len(self.shadow.violations)
+        if self._ras is not None:
+            result.ras = self._ras.report()
 
     def _run_epochwise(self, trace: TraceChunk, result: SimulationResult) -> None:
         """Reference per-epoch loop (resilience hooks live here)."""
@@ -254,6 +280,17 @@ class EpochSimulator:
                     pending_dram_errors, epoch_index, now, result
                 )
 
+            n_on = int(np.count_nonzero(on))
+            if self._ras is not None:
+                # CE correction + patrol-scrub cycles count against this
+                # epoch (and its watchdog budget); a retirement's copy-out
+                # instead stalls subsequent accesses via the engine
+                epoch_cycles += self._ras.end_epoch(
+                    epoch_index, now,
+                    machine=machine, on=on, writes=epoch.rw != 0,
+                    n_on=n_on, n_total=len(epoch),
+                )
+
             if resilience.epoch_cycle_budget and (
                 epoch_cycles > resilience.epoch_cycle_budget
             ):
@@ -271,7 +308,6 @@ class EpochSimulator:
                     )
                 )
 
-            n_on = int(np.count_nonzero(on))
             result.n_accesses += len(epoch)
             result.total_latency += epoch_cycles
             result.onpkg_accesses += n_on
@@ -432,6 +468,14 @@ class EpochSimulator:
                 table.fill_bitmap[ev.param % table.fill_bitmap.shape[0]] = True
             elif ev.kind is FaultKind.DRAM_TRANSIENT:
                 dram_errors += max(1, ev.param)
+            elif ev.kind is FaultKind.CE_BURST:
+                # without a RAS subsystem there is no CE telemetry to
+                # perturb: the fault lands on absent hardware
+                if self._ras is not None:
+                    self._ras.inject_burst(ev.param)
+            elif ev.kind is FaultKind.SCRUB_LATENT:
+                if self._ras is not None:
+                    self._ras.inject_latent(ev.param)
         return dram_errors
 
     def _run_ecc(
@@ -506,6 +550,7 @@ class EpochSimulator:
             "engine": self.engine.state_dict(),
             "controller": self.controller.state_dict(),
             "shadow": None if self.shadow is None else self.shadow.state_dict(),
+            "ras": None if self._ras is None else self._ras.state_dict(),
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -524,3 +569,7 @@ class EpochSimulator:
             if self.shadow is None:
                 self._attach_shadow()
             self.shadow.load_state_dict(shadow_state)
+        # .get(): checkpoints written before the RAS subsystem existed
+        ras_state = state.get("ras")
+        if ras_state is not None and self._ras is not None:
+            self._ras.load_state_dict(ras_state)

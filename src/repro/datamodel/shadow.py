@@ -80,6 +80,10 @@ class ShadowMemory:
         self.amap = table.amap
         self.n_subblocks = self.amap.subblocks_per_page
         self.ghost = self.amap.ghost_page
+        #: pages outside the data address space: Ω plus any RAS spare
+        #: pages (a spare's machine frame is reached through the retired
+        #: page it re-homes, never through its own physical-page id)
+        self._dead = frozenset(table.reserved_pages) | {self.ghost}
         #: location -> per-sub-block (page, generation) or None (garbage)
         self.contents: dict[Location, list[tuple[int, int] | None]] = {}
         #: (page, subblock) -> last written generation (absent = 0)
@@ -93,7 +97,7 @@ class ShadowMemory:
         #: "copy" (src, dst, subblocks|None), "link" (src, dst), "close" ()
         self._ops: deque[tuple[int, str, tuple]] = deque()
         for page in range(self.amap.n_total_pages):
-            if page == self.ghost:
+            if page in self._dead:
                 continue
             on, machine = table.resolve(page)
             loc: Location = ("slot", machine) if on else ("mach", machine)
@@ -184,7 +188,7 @@ class ShadowMemory:
             while ops and ops[0][0] <= t:
                 _, kind, payload = ops.popleft()
                 self._apply(kind, payload)
-            if page == self.ghost:
+            if page in self._dead:
                 continue
             loc: Location = ("slot", m) if on_pkg else ("mach", m)
             if write:
@@ -217,7 +221,7 @@ class ShadowMemory:
         self.flush()
         bad: list[DataViolation] = []
         for page in range(self.amap.n_total_pages):
-            if page == self.ghost:
+            if page in self._dead:
                 continue
             for sb in range(self.n_subblocks):
                 on, machine = table.resolve(page, sb)

@@ -1,0 +1,131 @@
+"""Chaos soak: RAS subsystem under elevated correctable-error pressure.
+
+Not a paper figure — an acceptance gate for the runtime RAS subsystem
+(:mod:`repro.ras`). Each of the three swap designs runs a hot/cold
+trace with data-content tracking on, background CE injection at 10x
+the nominal rate, two scheduled CE bursts (dying rows), and a latent
+CE that only the patrol scrubber can surface. The run must:
+
+* finish with **zero** data violations (shadow-memory verified, plus a
+  full final table sweep),
+* perform at least one predictive frame retirement per design,
+* keep the translation table audit-clean (pairing invariant + retired
+  remap mirrors),
+
+and it prints each design's RAS and resilience tables so the capacity /
+η degradation trajectory is part of the experiment log.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import MigrationAlgorithm, MigrationConfig, SystemConfig
+from ..core.simulator import EpochSimulator
+from ..errors import ReproError
+from ..resilience.faults import FaultEvent, FaultKind, FaultPlan
+from ..stats.report import Table, ras_table, resilience_table
+from ..trace.record import TraceChunk, make_chunk
+from ..units import KB, MB
+
+#: per-frame per-epoch background CE probability (nominal -> 10x)
+NOMINAL_CE_RATE = 0.002
+SOAK_CE_RATE = 10 * NOMINAL_CE_RATE
+
+SWAP_INTERVAL = 400
+FAST_EPOCHS = 60
+FULL_EPOCHS = 240
+
+
+def soak_config(algorithm: str) -> SystemConfig:
+    """Small geometry with swap windows a few epochs long, so retirement
+    finds free epoch boundaries between back-to-back migrations."""
+    return SystemConfig(
+        total_bytes=16 * MB,
+        onpkg_bytes=2 * MB,
+        migration=MigrationConfig(
+            macro_page_bytes=64 * KB,
+            swap_interval=SWAP_INTERVAL,
+            algorithm=algorithm,
+        ),
+    ).with_ras(
+        enabled=True,
+        seed=7,
+        ce_base_rate=SOAK_CE_RATE,
+        ce_threshold=6,
+        ce_leak=0.5,
+        ce_cost_cycles=20,
+        scrub_interval_epochs=4,
+        scrub_frames_per_pass=4,
+        spare_pages=3,
+        min_usable_frames=8,
+        wear_penalty=0.5,
+    )
+
+
+def soak_trace(n_epochs: int, seed: int = 11) -> TraceChunk:
+    """Hot/cold mixture over the data region (spares/Ω never touched)."""
+    n = n_epochs * SWAP_INTERVAL
+    rng = np.random.default_rng(seed)
+    hot = rng.random(n) < 0.85
+    hot_addr = MB // 2 + rng.integers(0, 3 * MB // 2, n)
+    cold_addr = rng.integers(0, 12 * MB, n)
+    addr = (np.where(hot, hot_addr, cold_addr) // 64) * 64
+    time = np.cumsum(rng.integers(1, 30, n))
+    return make_chunk(addr.astype(np.int64), time=time.astype(np.int64))
+
+
+def soak_fault_plan() -> FaultPlan:
+    """Two dying rows (CE bursts) plus one latent CE for the scrubber."""
+    return FaultPlan(
+        events=(
+            FaultEvent(epoch=5, kind=FaultKind.CE_BURST, param=3),
+            FaultEvent(epoch=12, kind=FaultKind.SCRUB_LATENT, param=17),
+            FaultEvent(epoch=30, kind=FaultKind.CE_BURST, param=9),
+        ),
+        seed=3,
+    )
+
+
+def run(fast: bool = True) -> list[Table]:
+    n_epochs = FAST_EPOCHS if fast else FULL_EPOCHS
+    tables: list[Table] = []
+    for algorithm in MigrationAlgorithm.ALL:
+        sim = EpochSimulator(soak_config(algorithm), track_data=True)
+        sim.attach_faults(soak_fault_plan())
+        result = sim.run(soak_trace(n_epochs))
+        ras = result.ras
+
+        # ---- hard gates -------------------------------------------------
+        leftover = sim.shadow.verify_table(sim.table)
+        if result.data_violations or leftover:
+            raise ReproError(
+                f"{algorithm}: chaos soak lost data — "
+                f"{result.data_violations} demand violations, "
+                f"{len(leftover)} final-sweep violations"
+            )
+        if ras.frames_retired < 1:
+            raise ReproError(
+                f"{algorithm}: chaos soak performed no predictive "
+                f"retirement (CE telemetry never crossed its threshold)"
+            )
+        sim.table.audit()
+        sim.table.check_invariants()
+
+        t = ras_table(result)
+        t.title = f"Chaos soak ({algorithm}) — RAS summary"
+        t.add_footnote(
+            f"background CE rate {SOAK_CE_RATE} per frame-epoch "
+            f"(10x nominal {NOMINAL_CE_RATE}); data integrity verified "
+            f"against the shadow memory: 0 violations"
+        )
+        tables.append(t)
+        rt = resilience_table(result)
+        rt.title = f"Chaos soak ({algorithm}) — resilience summary"
+        tables.append(rt)
+    return tables
+
+
+if __name__ == "__main__":
+    for table in run():
+        table.print()

@@ -26,7 +26,19 @@ import sys
 import time
 
 from ..campaign import CampaignSupervisor, CampaignTask, RetryPolicy
-from . import fig4, fig5, fig10, fig11, fig12_14, fig15, fig16, table1, table2_3, table4
+from . import (
+    chaos_soak,
+    fig4,
+    fig5,
+    fig10,
+    fig11,
+    fig12_14,
+    fig15,
+    fig16,
+    table1,
+    table2_3,
+    table4,
+)
 
 EXPERIMENTS = {
     "table1": table1.run,
@@ -40,6 +52,7 @@ EXPERIMENTS = {
     "fig15": fig15.run,
     "fig16": fig16.run,
     "table4": table4.run,
+    "chaos-soak": chaos_soak.run,
 }
 
 #: experiments whose inner (workload x config) grids fan out through

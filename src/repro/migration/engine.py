@@ -39,6 +39,7 @@ from ..errors import (
 )
 from ..resilience.degradation import (
     ABORT_RECOVERED,
+    FRAME_RETIRED,
     MIGRATION_QUARANTINED,
     SWAP_FAILED,
     DegradationEvent,
@@ -83,21 +84,23 @@ class FillInfo:
 class ActiveMigration:
     """One in-flight (or just-completed) swap with its routing timelines."""
 
-    plan: SwapPlan
+    #: None for a plan-less stall window (abort recovery started without
+    #: a schedulable plan, or a RAS frame retirement's copy-out)
+    plan: SwapPlan | None
     start: int
     end: int
     fill: FillInfo | None
     #: page -> [(change_time, on_package, machine_page)], time-ascending;
     #: resolution before the first entry is the pre-swap state
     timelines: dict[int, list[tuple[int, bool, int]]] = field(default_factory=dict)
-    #: True for the copy-back window of a data-safe abort recovery: the
-    #: table is already rolled back (no timelines), but execution stalls
-    #: while the surviving duplicates are copied home
+    #: True for the copy-back window of a data-safe abort recovery or a
+    #: frame retirement: the table already holds the final state (no
+    #: timelines), but execution stalls while the copies drain
     recovery: bool = False
 
     @property
     def stall(self) -> bool:
-        return self.plan.stall or self.recovery
+        return (self.plan is not None and self.plan.stall) or self.recovery
 
     def in_flight(self, now: int) -> bool:
         return now < self.end
@@ -123,13 +126,16 @@ class MigrationEngine:
         bus: BusConfig | None = None,
         *,
         resilience: ResilienceConfig | None = None,
+        reserved_pages: frozenset[int] | set[int] = frozenset(),
     ):
         self.amap = amap
         self.config = config
         self.bus = bus or BusConfig()
         self.resilience = resilience or ResilienceConfig()
         basic = config.algorithm == MigrationAlgorithm.N
-        self.table = TranslationTable(amap, reserve_empty_slot=not basic)
+        self.table = TranslationTable(
+            amap, reserve_empty_slot=not basic, reserved_pages=reserved_pages
+        )
         self.monitor = EpochMonitor(amap.n_onpkg_pages)
         self.active: ActiveMigration | None = None
         self.swaps_triggered = 0
@@ -151,6 +157,13 @@ class MigrationEngine:
         #: optional data-content mirror (set by EpochSimulator track_data=True);
         #: fed every copy the plans perform, at the cycle it lands
         self.shadow = None
+        #: optional RAS wear model (set by RasController): counts every
+        #: copy's destination writes and, when its penalty weight is
+        #: positive, biases the hottest-page swap-candidate ranking
+        self.wear = None
+        # RAS predictive-retirement accounting
+        self.frames_retired = 0
+        self.retired_bytes = 0
         # last-touched sub-block per off-package page, as parallel sorted
         # arrays (one np.unique pass per epoch, no per-epoch dict build)
         self._last_sb_pages: np.ndarray | None = None
@@ -284,23 +297,47 @@ class MigrationEngine:
     def _shadow_quarantine(self, now: int) -> None:
         """Mirror the quarantine's physical copy-home in the shadow.
 
-        Data that already landed stays; not-yet-landed copy ops are
-        cancelled (the copy engine quiesces). An audit-path quarantine
-        on an unrepairable table is best-effort: if the corrupt state no
+        The table already reflects an in-flight plan's final mapping
+        (plans apply their table ops atomically when scheduled), and the
+        quarantine's copy-home is modelled as instantaneous — so the
+        in-flight plan's remaining copies drain first rather than being
+        torn, keeping the shadow aligned with the table the recovery
+        plan is computed from. An audit-path quarantine on an
+        unrepairable table is best-effort: if the corrupt state no
         longer resolves a surviving copy for some page, that page's data
         is lost and later reads will record violations.
         """
-        self.shadow.flush(now)
+        horizon = now
+        if self.active is not None:
+            horizon = max(horizon, self.active.end)
+        self.shadow.flush(horizon)
         self.shadow.drop_pending()
         try:
-            target = TranslationTable(
-                self.amap, reserve_empty_slot=self.table._reserve_empty_slot
-            )
+            target = self._reset_target_table()
             steps = recovery_plan(self.table, [], target_table=target)
-        except MigrationError:
+        except (MigrationError, TranslationTableError):
             return
         for step in steps:
             self.shadow.apply_copy(step.src, step.dst)
+
+    def _reset_target_table(self) -> TranslationTable:
+        """A fresh table in the exact state :meth:`TranslationTable.
+        reset_identity` produces — retirement (which quarantine cannot
+        undo: the frames are physically dead) carried over."""
+        target = TranslationTable(
+            self.amap, reserve_empty_slot=False,
+            reserved_pages=self.table.reserved_pages,
+        )
+        for slot in sorted(self.table.remap):
+            target.retire_slot(slot, self.table.remap[slot])
+        if self.table._reserve_empty_slot:
+            usable = np.flatnonzero(~target.retired)
+            if usable.size == 0:
+                raise TranslationTableError(
+                    "every on-package frame is retired; no empty slot possible"
+                )
+            target.set_empty(int(usable[-1]))
+        return target
 
     def inject_abort(self, at_copy_step: int, *, subblocks: int = 0) -> None:
         """Arm a one-shot fault: the next scheduled swap aborts at the
@@ -316,7 +353,15 @@ class MigrationEngine:
             self.monitor.new_epoch()
             return SwapDecision(False, "previous swap still in flight (P/F busy)")
 
-        hottest = self.monitor.hottest_page()
+        wear_penalty = None
+        if self.wear is not None and self.wear.penalty_weight > 0:
+            # endurance-aware candidate ranking: penalise pages whose
+            # off-package machine frame has absorbed many writes (the
+            # demoted LRU page would be written right back onto it)
+            wear_penalty = lambda pages: self.wear.penalty(  # noqa: E731
+                self.table.machine_of[np.asarray(pages, dtype=np.int64)]
+            )
+        hottest = self.monitor.hottest_page(wear_penalty=wear_penalty)
         if hottest is None:
             self.monitor.new_epoch()
             return SwapDecision(False, "no off-package accesses this epoch")
@@ -327,6 +372,18 @@ class MigrationEngine:
             self.monitor.new_epoch()
             return SwapDecision(False, "hottest page is the reserved Ω page")
 
+        # nor a RAS spare, nor a page whose home frame is retired (it
+        # lives at its spare for good; promoting it would need a frame
+        # its pairing invariant no longer has)
+        if mru_page in self.table.reserved_pages:
+            self.monitor.new_epoch()
+            return SwapDecision(False, "hottest page is a reserved spare page")
+        if self.table.is_retired_home(mru_page):
+            self.monitor.new_epoch()
+            return SwapDecision(
+                False, f"hottest page {mru_page}'s home frame is retired"
+            )
+
         # the page may have finished migrating on-package during the very
         # epoch whose counts flagged it (it was served off-package while
         # its fill was in flight) — hardware drops it from the multi-queue
@@ -336,9 +393,11 @@ class MigrationEngine:
             return SwapDecision(False, f"hottest page {mru_page} already on-package")
 
         empty = self.table.empty_slot()
-        exclude = {empty} if empty is not None else set()
+        exclude = set(np.flatnonzero(self.table.retired).tolist())
+        if empty is not None:
+            exclude.add(empty)
         if len(exclude) >= self.table.n_slots:
-            # degenerate N-1 geometry: a single slot, and it is the empty
+            # degenerate geometry: every slot is retired or the empty
             # one — there is nothing to demote, so nothing to swap
             self.monitor.new_epoch()
             return SwapDecision(False, "no occupied on-package slot to demote")
@@ -476,6 +535,9 @@ class MigrationEngine:
                     step.apply(self.table)
                     self._record_changes(timelines, before, t)
         except (FaultInjectionError, TranslationTableError) as exc:
+            # the executed copy prefix physically happened: it wore its
+            # destinations regardless of how the abort is handled
+            self._observe_copy_wear(executed)
             recovered = False
             if self.resilience.data_safe_abort:
                 end = self._recover_abort(
@@ -524,6 +586,7 @@ class MigrationEngine:
                 # copy engine quiesces and its forwarding links die
                 self.shadow.schedule(t, "close", ())
 
+        self._observe_copy_wear(executed)
         self.active = ActiveMigration(
             plan=plan, start=now, end=t, fill=None if plan.stall else fill,
             timelines=timelines,
@@ -533,6 +596,79 @@ class MigrationEngine:
         self.cross_boundary_bytes += plan.cross_boundary_bytes
         if incoming_end is None:
             raise MigrationError("swap plan has no incoming copy")  # pragma: no cover
+
+    def _observe_copy_wear(self, executed: list[tuple]) -> None:
+        """Count executed copies' destination writes in the wear model.
+
+        Every plan copy moves one whole macro page; destinations in the
+        off-package array (``("mach", p)``) wear that machine frame.
+        """
+        if self.wear is None:
+            return
+        for _src, dst, _complete in executed:
+            if dst is not None and dst[0] == "mach":
+                self.wear.observe_copy(dst[1], self.amap.macro_page_bytes)
+
+    # ------------------------------------------------------------------
+    # RAS predictive frame retirement
+    # ------------------------------------------------------------------
+    def retire_frame(self, now: int, slot: int, spare: int) -> int:
+        """Permanently retire on-package frame ``slot``, copying its data
+        out first: the occupant page goes home, the slot's own page is
+        re-homed at the reserved ``spare`` machine page.
+
+        The copies run under stall (a plan-less recovery-style window,
+        like a data-safe abort's copy-back), then the table update is
+        atomic via :meth:`TranslationTable.retire_slot`. Returns the
+        cycle the copy-out window closes. The caller (the RAS
+        controller) enforces the retirement *policy* — spare budget,
+        minimum usable frames, not the empty slot; this method enforces
+        only mechanical soundness (quiescence, no quarantine).
+        """
+        from ..ras.retirement import retirement_moves
+
+        if self.quarantined:
+            raise MigrationError("engine is quarantined; cannot retire frames")
+        if self.active is not None and self.active.in_flight(now):
+            raise MigrationError(
+                "a swap is in flight (P/F busy); retirement must wait"
+            )
+        steps = retirement_moves(
+            self.table, slot, spare, self.amap.macro_page_bytes
+        )
+        if self.shadow is not None:
+            # the copy-out runs under stall: nothing executes inside the
+            # window, so the data lands synchronously
+            self.shadow.flush(now)
+            for step in steps:
+                self.shadow.apply_copy(step.src, step.dst)
+        occupant = self.table.retire_slot(slot, spare)
+        if self.wear is not None:
+            for step in steps:
+                if step.dst is not None and step.dst[0] == "mach":
+                    self.wear.observe_copy(step.dst[1], step.nbytes)
+        cycles = sum(self._copy_cycles(s) for s in steps)
+        nbytes = sum(s.nbytes for s in steps)
+        end = now + cycles
+        self.active = ActiveMigration(
+            plan=None, start=now, end=end, fill=None, timelines={},
+            recovery=True,
+        )
+        self.frames_retired += 1
+        self.retired_bytes += nbytes
+        self.degradation_events.append(
+            DegradationEvent(
+                time=now, epoch=self.epochs_observed, kind=FRAME_RETIRED,
+                detail=(
+                    f"frame {slot} retired (occupant page {occupant} sent "
+                    f"home, page {slot} re-homed at spare {spare}); "
+                    f"{nbytes} bytes copied, stalled until cycle {end}; "
+                    f"{self.table.n_usable_slots} usable frames remain"
+                ),
+                recovered=True,
+            )
+        )
+        return end
 
     def _collect_shadow_copy(
         self,
@@ -589,7 +725,8 @@ class MigrationEngine:
         the copy-back window closes.
         """
         pre = TranslationTable(
-            self.amap, reserve_empty_slot=self.table._reserve_empty_slot
+            self.amap, reserve_empty_slot=self.table._reserve_empty_slot,
+            reserved_pages=self.table.reserved_pages,
         )
         pre.load_state_dict(snapshot)
         try:
@@ -681,6 +818,8 @@ class MigrationEngine:
             "abort_subblocks": self._abort_subblocks,
             "abort_recoveries": self.abort_recoveries,
             "recovery_bytes": self.recovery_bytes,
+            "frames_retired": self.frames_retired,
+            "retired_bytes": self.retired_bytes,
             "last_subblock": (
                 {}
                 if self._last_sb_pages is None
@@ -709,6 +848,8 @@ class MigrationEngine:
         self._abort_subblocks = state.get("abort_subblocks", 0)
         self.abort_recoveries = state.get("abort_recoveries", 0)
         self.recovery_bytes = state.get("recovery_bytes", 0)
+        self.frames_retired = state.get("frames_retired", 0)
+        self.retired_bytes = state.get("retired_bytes", 0)
         sb = dict(state["last_subblock"])
         if sb:
             pages = np.array(sorted(sb), dtype=np.int64)

@@ -117,12 +117,26 @@ class EpochMonitor:
             raise MigrationError("all slots excluded")
         return int(order[0])
 
-    def hottest_page(self) -> tuple[int, int] | None:
-        """``(page, epoch_count)`` of the hottest off-package page."""
+    def hottest_page(self, wear_penalty=None) -> tuple[int, int] | None:
+        """``(page, epoch_count)`` of the hottest off-package page.
+
+        ``wear_penalty`` (RAS wear leveling) maps a page array to a
+        per-page score penalty: candidates are ranked by
+        ``count - penalty`` so a worn-out machine page loses the swap
+        even when slightly hotter. The *returned* count is always the
+        raw epoch count, so the hottest-coldest trigger comparison is
+        unchanged. ``None`` keeps the selection bit-identical to the
+        endurance-blind ranking.
+        """
         if self._off_pages.size == 0:
             return None
-        # highest count, most recent touch breaking ties
-        idx = np.lexsort((self._off_last, self._off_counts))[-1]
+        if wear_penalty is None:
+            # highest count, most recent touch breaking ties
+            idx = np.lexsort((self._off_last, self._off_counts))[-1]
+        else:
+            score = self._off_counts.astype(np.float64)
+            score -= np.asarray(wear_penalty(self._off_pages), dtype=np.float64)
+            idx = np.lexsort((self._off_last, score))[-1]
         return int(self._off_pages[idx]), int(self._off_counts[idx])
 
     def slot_epoch_count(self, slot: int) -> int:

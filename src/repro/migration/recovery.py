@@ -55,9 +55,15 @@ def _loc(resolution: tuple[bool, int]) -> Location:
 
 
 def _data_pages(table: TranslationTable) -> list[int]:
-    """Every macro page that carries data (the reserved Ω page does not)."""
-    ghost = table.amap.ghost_page
-    return [p for p in range(table.amap.n_total_pages) if p != ghost]
+    """Every macro page that carries data.
+
+    The reserved Ω page does not, and neither do the RAS spare pages:
+    a spare's *machine* frame holds a retired page's data, which the
+    content map reaches through that retired page's resolution — the
+    spare's own physical-page id is outside the trace address space.
+    """
+    dead = table.reserved_pages | {table.amap.ghost_page}
+    return [p for p in range(table.amap.n_total_pages) if p not in dead]
 
 
 def content_of_table(table: TranslationTable) -> dict[Location, int]:

@@ -24,6 +24,15 @@ The table keeps two dense mirror arrays (``machine_of`` page->machine
 and ``onpkg`` flags) incrementally updated on every mutation, so the
 epoch simulator can translate a whole access chunk with one fancy-index
 — the RAM/CAM structures themselves stay hardware-sized.
+
+The RAS subsystem (``repro.ras``) adds *predictive frame retirement*:
+a slot whose DRAM row is decaying is taken out of service for good.
+A retired row's right column is EMPTY but the slot never counts as the
+free slot again, and the slot's home page ``r`` is permanently re-homed
+at a reserved spare machine page (``remap[r]``) — one of the
+``reserved_pages`` handed to the constructor, which are invisible to
+the trace address space. All other machinery (swaps, audits, recovery)
+simply sees a table with fewer usable slots.
 """
 
 from __future__ import annotations
@@ -52,11 +61,29 @@ class PageCategory(Enum):
 class TranslationTable:
     """Pairing-invariant translation table with P/F bits and fill bitmap."""
 
-    def __init__(self, amap: AddressMap, *, reserve_empty_slot: bool = True):
+    def __init__(
+        self,
+        amap: AddressMap,
+        *,
+        reserve_empty_slot: bool = True,
+        reserved_pages: frozenset[int] | set[int] = frozenset(),
+    ):
         self.amap = amap
         n = amap.n_onpkg_pages
         self.n_slots = n
         self._reserve_empty_slot = reserve_empty_slot
+        #: off-package machine pages reserved as retirement spares; they
+        #: are outside the data address space (like the ghost page Ω)
+        self.reserved_pages = frozenset(int(p) for p in reserved_pages)
+        for p in self.reserved_pages:
+            if not n <= p < amap.ghost_page:
+                raise TranslationTableError(
+                    f"reserved spare page {p} must be off-package and below Ω"
+                )
+        #: permanently out-of-service slots (predictive retirement)
+        self.retired = np.zeros(n, dtype=bool)
+        #: retired slot r -> spare machine page now homing page r's data
+        self.remap: dict[int, int] = {}
         #: right column: page stored in each slot (EMPTY for the free slot)
         self.pair = np.arange(n, dtype=np.int64)
         self.p_bit = np.zeros(n, dtype=bool)
@@ -92,7 +119,12 @@ class TranslationTable:
             self.onpkg[page] = False
             return
         if page < self.n_slots:
-            if self.p_bit[page]:
+            spare = self.remap.get(page)
+            if spare is not None:
+                # the page's home frame is retired: permanent spare home
+                self.machine_of[page] = spare
+                self.onpkg[page] = False
+            elif self.p_bit[page]:
                 self.machine_of[page] = amap.ghost_page
                 self.onpkg[page] = False
             else:
@@ -134,6 +166,17 @@ class TranslationTable:
         self._check_slot(slot)
         if not 0 <= page < self.amap.n_total_pages:
             raise TranslationTableError(f"page {page} out of range")
+        if self.retired[slot]:
+            raise TranslationTableError(f"slot {slot} is retired")
+        if page in self.reserved_pages:
+            raise TranslationTableError(
+                f"page {page} is a reserved spare and cannot be mapped"
+            )
+        if page in self.remap:
+            raise TranslationTableError(
+                f"page {page}'s home frame is retired; it lives at spare "
+                f"{self.remap[page]} for good"
+            )
         old = int(self.pair[slot])
         self._set_cam(slot, page)
         for p in {page, slot, old} - {EMPTY}:
@@ -143,6 +186,8 @@ class TranslationTable:
     def set_empty(self, slot: int) -> None:
         """Mark ``slot`` as the empty slot (right column := Ω/EMPTY)."""
         self._check_slot(slot)
+        if self.retired[slot]:
+            raise TranslationTableError(f"slot {slot} is retired")
         self._set_empty(slot)
 
     def _set_empty(self, slot: int) -> None:
@@ -158,6 +203,8 @@ class TranslationTable:
 
     def set_pending(self, slot: int, value: bool) -> None:
         self._check_slot(slot)
+        if self.retired[slot]:
+            raise TranslationTableError(f"slot {slot} is retired")
         self.p_bit[slot] = value
         self._sync_page(slot)
 
@@ -165,6 +212,8 @@ class TranslationTable:
         """Set the F bit: ``slot`` starts receiving its (already CAM-mapped)
         page from ``source_machine_page``, sub-block by sub-block (Fig 9)."""
         self._check_slot(slot)
+        if self.retired[slot]:
+            raise TranslationTableError(f"slot {slot} is retired")
         if self._filling_slot is not None:
             raise TranslationTableError("another slot is already filling")
         page = int(self.pair[slot])
@@ -244,6 +293,9 @@ class TranslationTable:
             raise TranslationTableError(f"page {page} out of range")
         n = self.n_slots
         if page < n:
+            if page in self.remap:
+                # home frame retired: permanently resident at its spare
+                return PageCategory.MIGRATED_SLOW
             v = int(self.pair[page])
             if self.p_bit[page] or v == EMPTY:
                 return PageCategory.GHOST
@@ -261,8 +313,12 @@ class TranslationTable:
         return self._slot_of.get(page)
 
     def empty_slot(self) -> int | None:
-        """The current empty slot (N-1 design), if any."""
-        empties = np.flatnonzero(self.pair == EMPTY)
+        """The current empty slot (N-1 design), if any.
+
+        Retired slots also carry an EMPTY right column but are out of
+        service for good, so they never count as the free slot.
+        """
+        empties = np.flatnonzero((self.pair == EMPTY) & ~self.retired)
         return int(empties[0]) if empties.size else None
 
     def page_in_slot(self, slot: int) -> int:
@@ -276,6 +332,58 @@ class TranslationTable:
     def _check_slot(self, slot: int) -> None:
         if not 0 <= slot < self.n_slots:
             raise TranslationTableError(f"slot {slot} out of range [0, {self.n_slots})")
+
+    # ------------------------------------------------------------------
+    # predictive frame retirement (RAS subsystem)
+    # ------------------------------------------------------------------
+    @property
+    def n_retired(self) -> int:
+        return int(self.retired.sum())
+
+    @property
+    def n_usable_slots(self) -> int:
+        """On-package frames still in service (graceful degradation)."""
+        return self.n_slots - self.n_retired
+
+    def is_retired_home(self, page: int) -> bool:
+        """True when ``page``'s home frame is retired (page lives at a
+        spare and must never be promoted on-package again)."""
+        return page in self.remap
+
+    def retire_slot(self, slot: int, spare: int) -> int:
+        """Permanently take ``slot`` out of service, re-homing its home
+        page at the reserved ``spare`` machine page.
+
+        This is only the atomic table update — the data movement (the
+        occupant home, page ``slot``'s data to the spare) is the
+        engine's job and must be complete before this is called (see
+        :func:`repro.ras.retirement.retirement_moves`). Returns the
+        occupant page the caller copied home.
+        """
+        self._check_slot(slot)
+        if self.retired[slot]:
+            raise TranslationTableError(f"slot {slot} is already retired")
+        if spare not in self.reserved_pages:
+            raise TranslationTableError(
+                f"page {spare} is not a reserved spare page"
+            )
+        if spare in self.remap.values():
+            raise TranslationTableError(f"spare page {spare} already in use")
+        if bool(self.p_bit[slot]) or bool(self.f_bit[slot]) or self._filling_slot == slot:
+            raise TranslationTableError(
+                f"slot {slot} is mid-swap; retirement requires quiescence"
+            )
+        occupant = int(self.pair[slot])
+        if occupant == EMPTY:
+            raise TranslationTableError(
+                "cannot retire the empty slot (the N-1 design needs it)"
+            )
+        self._set_cam(slot, EMPTY)
+        self.retired[slot] = True
+        self.remap[slot] = int(spare)
+        for p in sorted({slot, occupant}):
+            self._sync_page(p)
+        return occupant
 
     # ------------------------------------------------------------------
     # snapshot / restore / recovery (resilience subsystem)
@@ -293,6 +401,8 @@ class TranslationTable:
             "slot_of": dict(self._slot_of),
             "machine_of": self.machine_of.copy(),
             "onpkg": self.onpkg.copy(),
+            "retired": self.retired.copy(),
+            "remap": dict(self.remap),
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -312,6 +422,13 @@ class TranslationTable:
         self._slot_of = dict(state["slot_of"])
         self.machine_of = state["machine_of"].copy()
         self.onpkg = state["onpkg"].copy()
+        # pre-RAS snapshots carry no retirement state (back-compat)
+        retired = state.get("retired")
+        self.retired = (
+            retired.copy() if retired is not None
+            else np.zeros(self.n_slots, dtype=bool)
+        )
+        self.remap = dict(state.get("remap", {}))
 
     def reset_identity(self) -> int:
         """Roll back to the boot-time identity mapping (quarantine path).
@@ -323,6 +440,7 @@ class TranslationTable:
         """
         n = self.n_slots
         home = np.arange(n, dtype=np.int64)
+        home[self.retired] = EMPTY  # retired frames stay out of service
         displaced = int((self.pair != home).sum())
         self.pair = home.copy()
         self.p_bit[:] = False
@@ -331,13 +449,21 @@ class TranslationTable:
         self._filling_slot = None
         self._fill_page = None
         self._fill_source = None
-        self._slot_of = {p: p for p in range(n)}
+        self._slot_of = {p: p for p in range(n) if not self.retired[p]}
         total = self.amap.n_total_pages
         self.machine_of = np.arange(total, dtype=np.int64)
         self.onpkg = np.zeros(total, dtype=bool)
         self.onpkg[:n] = True
+        for page, spare in self.remap.items():
+            self.machine_of[page] = spare
+            self.onpkg[page] = False
         if self._reserve_empty_slot:
-            self._set_empty(n - 1)
+            usable = np.flatnonzero(~self.retired)
+            if usable.size == 0:
+                raise TranslationTableError(
+                    "every on-package frame is retired; no empty slot possible"
+                )
+            self._set_empty(int(usable[-1]))
         return displaced
 
     def audit(self) -> None:
@@ -459,6 +585,26 @@ class TranslationTable:
             raise TranslationTableError("CAM dict out of sync with right column")
         if int(self.f_bit.sum()) > 1:
             raise TranslationTableError("more than one slot filling")
+        # retirement structure: flags, remap and mirrors must agree
+        if bool((self.retired & (self.pair != EMPTY)).any()):
+            raise TranslationTableError(
+                f"retired slots {np.flatnonzero(self.retired & (self.pair != EMPTY)).tolist()} "
+                "still have a mapped page"
+            )
+        if set(self.remap) != set(np.flatnonzero(self.retired).tolist()):
+            raise TranslationTableError("remap keys disagree with retired flags")
+        spares = list(self.remap.values())
+        if len(set(spares)) != len(spares):
+            raise TranslationTableError("two retired frames share a spare page")
+        for page, spare in self.remap.items():
+            if spare not in self.reserved_pages:
+                raise TranslationTableError(
+                    f"retired page {page} remapped to non-reserved page {spare}"
+                )
+            if bool(self.onpkg[page]) or int(self.machine_of[page]) != spare:
+                raise TranslationTableError(
+                    f"dense mirror disagrees with retired page {page} -> {spare}"
+                )
         # spot-check mirrors against scalar resolution
         for page in list(seen)[:64] + list(range(min(self.n_slots, 64))):
             if page == self._fill_page:

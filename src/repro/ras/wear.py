@@ -1,0 +1,62 @@
+"""Off-package write-endurance counters and the wear-leveling penalty.
+
+MigrantStore's observation (PAPERS.md): migration traffic, not demand
+traffic, dominates writes to the slow tier, so endurance-aware
+placement must charge the *swaps* — every demotion rewrites a whole
+macro page onto some machine frame. The model keeps a lifetime write
+counter per machine page (demand writes count one cache line each,
+copies count their full size) and exposes a penalty the migration
+engine subtracts from swap-candidate scores: a candidate whose machine
+frame is already worn loses the swap to a slightly-colder page on a
+fresher frame, spreading migration writes across the array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: one demand write wears one cache line
+LINE_BYTES = 64
+
+
+class WearModel:
+    """Lifetime write counters over every machine page."""
+
+    def __init__(
+        self, n_machine_pages: int, *, penalty_weight: float, window: int
+    ):
+        self.penalty_weight = float(penalty_weight)
+        self.window = int(window)
+        #: line-sized write equivalents absorbed by each machine page
+        self.writes = np.zeros(int(n_machine_pages), dtype=np.int64)
+
+    def observe_demand(self, machine_pages: np.ndarray) -> None:
+        """One epoch's off-package demand-write machine pages."""
+        pages = np.asarray(machine_pages, dtype=np.int64)
+        if pages.size:
+            np.add.at(self.writes, pages, 1)
+
+    def observe_copy(self, machine_page: int, nbytes: int) -> None:
+        """A migration/retirement copy landed on ``machine_page``."""
+        self.writes[machine_page] += max(1, nbytes // LINE_BYTES)
+
+    def penalty(self, machine_pages: np.ndarray) -> np.ndarray:
+        """Score penalty per machine page: ``weight`` per ``window``
+        lifetime writes (the units of the swap trigger's epoch counts)."""
+        pages = np.asarray(machine_pages, dtype=np.int64)
+        return self.penalty_weight * self.writes[pages] / self.window
+
+    @property
+    def total_writes(self) -> int:
+        return int(self.writes.sum())
+
+    @property
+    def max_page_writes(self) -> int:
+        return int(self.writes.max()) if self.writes.size else 0
+
+    # -- checkpoint support ------------------------------------------------
+    def state_dict(self) -> dict:
+        return {"writes": self.writes.copy()}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.writes = state["writes"].copy()

@@ -33,7 +33,9 @@ from .degradation import (
     DRAM_CORRECTED,
     DRAM_RETRIED,
     DRAM_UNCORRECTABLE,
+    FRAME_RETIRED,
     MIGRATION_QUARANTINED,
+    RETIREMENT_SUPPRESSED,
     SWAP_FAILED,
     TABLE_REPAIRED,
     TRACE_SALVAGED,
@@ -42,6 +44,7 @@ from .degradation import (
     summarize_events,
 )
 from .faults import (
+    CORE_FAULT_KINDS,
     EccModel,
     EccOutcome,
     FaultEvent,
@@ -56,6 +59,7 @@ __all__ = [
     "AUDIT_FAILED",
     "CHECKPOINT_MAGIC",
     "CHECKPOINT_VERSION",
+    "CORE_FAULT_KINDS",
     "CheckpointBundle",
     "DegradationEvent",
     "DRAM_CORRECTED",
@@ -63,10 +67,12 @@ __all__ = [
     "DRAM_UNCORRECTABLE",
     "EccModel",
     "EccOutcome",
+    "FRAME_RETIRED",
     "FaultEvent",
     "FaultKind",
     "FaultPlan",
     "MIGRATION_QUARANTINED",
+    "RETIREMENT_SUPPRESSED",
     "SWAP_FAILED",
     "TABLE_REPAIRED",
     "TRACE_SALVAGED",

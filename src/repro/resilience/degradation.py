@@ -26,6 +26,8 @@ DRAM_CORRECTED = "dram-corrected"
 DRAM_RETRIED = "dram-retried"
 DRAM_UNCORRECTABLE = "dram-uncorrectable"
 TRACE_SALVAGED = "trace-salvaged"
+FRAME_RETIRED = "frame-retired"
+RETIREMENT_SUPPRESSED = "retirement-suppressed"
 
 
 @dataclass(frozen=True)

@@ -46,6 +46,28 @@ class FaultKind(str, Enum):
     STUCK_F_BIT = "stuck-f-bit"
     BITMAP_CORRUPTION = "bitmap-corruption"
     DRAM_TRANSIENT = "dram-transient"
+    #: a correctable-error burst on an on-package frame: the frame's CE
+    #: leaky bucket jumps straight past its retirement threshold (no-op
+    #: unless the run has ``RASConfig(enabled=True)``)
+    CE_BURST = "ce-burst"
+    #: a latent correctable error parked in an idle frame — only the
+    #: patrol scrubber's next pass over that frame surfaces it into CE
+    #: telemetry (no-op without RAS)
+    SCRUB_LATENT = "scrub-latent"
+
+
+#: kinds a default :meth:`FaultPlan.random` draws from. Deliberately the
+#: original five: the RAS kinds are no-ops unless the simulator runs
+#: with ``RASConfig(enabled=True)``, and extending the default tuple
+#: would shift every existing seeded campaign's draws. RAS campaigns
+#: opt in via ``FaultPlan.random(..., kinds=(...,) )`` or explicit events.
+CORE_FAULT_KINDS = (
+    FaultKind.ABORT_SWAP,
+    FaultKind.STUCK_P_BIT,
+    FaultKind.STUCK_F_BIT,
+    FaultKind.BITMAP_CORRUPTION,
+    FaultKind.DRAM_TRANSIENT,
+)
 
 
 @dataclass(frozen=True)
@@ -54,7 +76,9 @@ class FaultEvent:
 
     ``param`` is kind-specific: the copy step index for ``ABORT_SWAP``,
     the slot index for the bit flips, the error count for
-    ``DRAM_TRANSIENT`` (0 picks a seeded default).
+    ``DRAM_TRANSIENT`` (0 picks a seeded default), the target frame
+    index for ``CE_BURST`` / ``SCRUB_LATENT`` (wrapped onto a usable
+    frame by the RAS controller).
 
     ``subblocks`` refines ``ABORT_SWAP`` only: when the targeted copy
     step is a Live Migration fill, that many sub-blocks land before the
@@ -92,7 +116,7 @@ class FaultPlan:
         if not 0 <= rate <= 1:
             raise FaultInjectionError(f"fault rate {rate} outside [0, 1]")
         rng = np.random.default_rng(seed)
-        kinds = kinds or tuple(FaultKind)
+        kinds = kinds or CORE_FAULT_KINDS
         events = []
         for epoch in range(n_epochs):
             if rng.random() >= rate:

@@ -1,6 +1,13 @@
 """Streaming statistics and paper-style table formatting."""
 
 from .accumulators import LatencyAccumulator, StreamingMean
-from .report import Table, format_cycles
+from .report import Table, format_cycles, ras_table, resilience_table
 
-__all__ = ["StreamingMean", "LatencyAccumulator", "Table", "format_cycles"]
+__all__ = [
+    "StreamingMean",
+    "LatencyAccumulator",
+    "Table",
+    "format_cycles",
+    "ras_table",
+    "resilience_table",
+]

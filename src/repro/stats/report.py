@@ -117,3 +117,59 @@ def campaign_table(report) -> Table:
             "exhausted their retry budget"
         )
     return table
+
+
+def ras_table(result) -> Table:
+    """Summarise a run's RAS telemetry as a :class:`Table`.
+
+    Takes a :class:`~repro.core.simulator.SimulationResult` from a run
+    with ``RASConfig(enabled=True)``: CE counters by source, patrol-scrub
+    traffic, wear totals, one row per predictive retirement, and the
+    on-package capacity / η trajectory (first epoch, every epoch the
+    usable-frame count changed, last epoch).
+    """
+    r = result.ras
+    if r is None:
+        raise ReproError(
+            "result carries no RAS report (run with RASConfig(enabled=True))"
+        )
+    table = Table("RAS summary", ["metric", "value"])
+    table.add_row("on-package frames", r.frames_total)
+    table.add_row("frames retired", r.frames_retired)
+    table.add_row("frames usable", r.frames_usable)
+    table.add_row("spares remaining", f"{r.spares_remaining}/{r.spares_total}")
+    table.add_row("CEs (demand)", r.ce_demand)
+    table.add_row("CEs (scrub)", r.ce_scrub)
+    table.add_row("CEs (burst)", r.ce_burst)
+    table.add_row("CE+scrub cycles", format_cycles(r.ce_cycles))
+    table.add_row("scrub passes", r.scrub_passes)
+    table.add_row("scrub reads", r.scrub_reads)
+    table.add_row("wear writes (total)", r.wear_total_writes)
+    table.add_row("wear writes (max/page)", r.wear_max_page_writes)
+    for ev in r.retirements:
+        table.add_row(
+            f"retired: frame {ev.slot} -> spare {ev.spare}",
+            f"epoch {ev.epoch}",
+        )
+    if r.retirements_suppressed:
+        table.add_row("retirements suppressed", r.retirements_suppressed)
+    series = r.capacity_series
+    if series:
+        shown = [series[0]]
+        for prev, cur in zip(series, series[1:]):
+            if cur[1] != prev[1]:
+                shown.append(cur)
+        if shown[-1] is not series[-1]:
+            shown.append(series[-1])
+        for epoch, usable, cap, eta in shown:
+            table.add_row(
+                f"capacity @ epoch {epoch}",
+                f"{usable} frames / {cap} B / eta {eta:.3f}",
+            )
+    if r.frames_retired:
+        table.add_footnote(
+            "capacity degraded gracefully: retired frames shrink the "
+            "on-package region; eta is each epoch's on-package service "
+            "fraction"
+        )
+    return table

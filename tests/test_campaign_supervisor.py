@@ -296,3 +296,59 @@ class TestValidationAndReport:
     def test_all_good_report_is_not_partial(self):
         report = CampaignSupervisor().run([CampaignTask("t", double, (1,))])
         assert "PARTIAL" not in report.table().render()
+
+
+class TestIntervalConfiguration:
+    """Heartbeat/poll intervals: constructor args and REPRO_HEARTBEAT_MS."""
+
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_HEARTBEAT_MS", raising=False)
+        s = CampaignSupervisor()
+        assert s.heartbeat_interval == 0.5
+        assert s.poll_interval == 0.05
+
+    @pytest.mark.parametrize("kwargs", [
+        {"poll_interval": 0},
+        {"poll_interval": -0.1},
+        {"heartbeat_interval": -1.0},
+    ])
+    def test_bad_intervals_rejected(self, kwargs):
+        with pytest.raises(CampaignError):
+            CampaignSupervisor(**kwargs)
+
+    def test_zero_heartbeat_disables(self):
+        assert CampaignSupervisor(heartbeat_interval=0).heartbeat_interval == 0
+
+    def test_custom_poll_interval_stored(self):
+        assert CampaignSupervisor(poll_interval=0.01).poll_interval == 0.01
+
+    def test_env_heartbeat_is_milliseconds(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HEARTBEAT_MS", "250")
+        assert CampaignSupervisor().heartbeat_interval == 0.25
+
+    def test_env_heartbeat_blank_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HEARTBEAT_MS", "  ")
+        assert CampaignSupervisor().heartbeat_interval == 0.5
+
+    def test_env_heartbeat_must_be_numeric(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HEARTBEAT_MS", "fast")
+        with pytest.raises(CampaignError):
+            CampaignSupervisor()
+
+    def test_env_heartbeat_must_be_nonnegative(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HEARTBEAT_MS", "-50")
+        with pytest.raises(CampaignError):
+            CampaignSupervisor()
+
+    def test_explicit_argument_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HEARTBEAT_MS", "250")
+        assert CampaignSupervisor(heartbeat_interval=1.5).heartbeat_interval == 1.5
+
+    def test_worker_run_with_custom_intervals(self, tmp_path):
+        """The configured intervals drive a real worker round-trip."""
+        sup = CampaignSupervisor(
+            jobs=2, heartbeat_interval=0.05, poll_interval=0.01,
+            retry=FAST_RETRY,
+        )
+        report = sup.run([CampaignTask("t", double, (21,))])
+        assert report.ok and report.by_id["t"].result == 42
