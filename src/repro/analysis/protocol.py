@@ -1008,4 +1008,27 @@ def fault_invariant_analysis(amap: AddressMap | None = None) -> list[FaultImpact
             ),
         )
     )
+
+    # -- ROW_DISTURB: hammering corrupts data, never the table ----------
+    # The worst case for translation state is the escalation rung that
+    # retires a hammered on-package frame — the same audited retirement
+    # path as CE_BURST; the flips themselves land in DRAM data arrays
+    # (shadow-memory territory), not in the on-chip SRAM table.
+    t = fresh_ras()
+    m = _Machine(t)
+    retire(m, 2)
+    out.append(
+        FaultImpact(
+            fault=FaultKind.ROW_DISTURB.value,
+            scenario="activation threshold crossed, mitigation escalates "
+                     "to retiring the hammered frame",
+            invariants=_sweep(m),
+            note=(
+                "disturbance flips corrupt victim-row *data* (caught by "
+                "the shadow-memory harness when unmitigated); the only "
+                "translation-state consequence is the escalation ladder's "
+                "retire rung, which reuses the audited retirement moves"
+            ),
+        )
+    )
     return out

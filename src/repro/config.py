@@ -118,16 +118,55 @@ class DramTiming:
         return self.t_rp + self.t_rcd + self.t_cas + self.io_cycles
 
 
-def offpkg_dram_timing(*, refresh: bool = False) -> DramTiming:
-    """Commodity DDR3 DIMM: 4 channels x 8 banks."""
-    return DramTiming(refresh_interval=25_000 if refresh else 0)
+#: core clock the cycle-denominated timings are quoted against (Table II)
+DEFAULT_FREQUENCY_HZ = 3.2e9
+
+#: refresh characteristics, in seconds. Retention is a property of the
+#: DRAM cell, so both tiers share the JEDEC tREFI of 7.8 us; tRFC is a
+#: property of the *array* being refreshed. The off-package DDR3 DIMM
+#: refreshes multi-Gbit devices (tRFC ~ 160 ns), while the on-package
+#: stacked DRAM splits capacity across 128 small banks whose short rows
+#: recharge much faster (tRFC ~ 60 ns) — refresh is cheaper on-package,
+#: which is what makes migration double as hot-row mitigation.
+DDR3_TREFI_S = 7.8e-6
+DDR3_TRFC_S = 160e-9
+ONPKG_TRFC_S = 60e-9
 
 
-def onpkg_dram_timing(*, refresh: bool = False) -> DramTiming:
-    """On-package many-bank DRAM: 128 banks, faster I/O on the interposer."""
+def cycles_of(seconds: float, frequency_hz: float = DEFAULT_FREQUENCY_HZ) -> int:
+    """A wall-clock duration in (at least one) core cycles."""
+    if seconds <= 0 or frequency_hz <= 0:
+        raise ConfigError("seconds and frequency_hz must be positive")
+    return max(1, int(round(seconds * frequency_hz)))
+
+
+def offpkg_dram_timing(
+    *, refresh: bool = False, frequency_hz: float = DEFAULT_FREQUENCY_HZ
+) -> DramTiming:
+    """Commodity DDR3 DIMM: 4 channels x 8 banks.
+
+    ``refresh=True`` derives tREFI/tRFC from the DDR3 datasheet values
+    at the given core clock (~24 960 / ~512 cycles at 3.2 GHz).
+    """
+    return DramTiming(
+        refresh_interval=cycles_of(DDR3_TREFI_S, frequency_hz) if refresh else 0,
+        refresh_cycles=cycles_of(DDR3_TRFC_S, frequency_hz),
+    )
+
+
+def onpkg_dram_timing(
+    *, refresh: bool = False, frequency_hz: float = DEFAULT_FREQUENCY_HZ
+) -> DramTiming:
+    """On-package many-bank DRAM: 128 banks, faster I/O on the interposer.
+
+    Shares the off-package tREFI (cell retention does not change on the
+    interposer) but refreshes its small banks in ~60 ns — about a third
+    of the DIMM's tRFC (~192 vs ~512 cycles at 3.2 GHz).
+    """
     return DramTiming(
         t_cas=43, t_rcd=43, t_rp=43, io_cycles=5, n_banks=128, n_channels=1,
-        refresh_interval=25_000 if refresh else 0,
+        refresh_interval=cycles_of(DDR3_TREFI_S, frequency_hz) if refresh else 0,
+        refresh_cycles=cycles_of(ONPKG_TRFC_S, frequency_hz),
     )
 
 
@@ -387,6 +426,67 @@ class RASConfig:
 
 
 @dataclass(frozen=True)
+class DisturbConfig:
+    """Row-disturbance (rowhammer) modelling knobs — all opt-in.
+
+    With ``enabled=True`` the simulator runs stepwise and attaches a
+    :class:`~repro.ras.disturb.DisturbController`: per-row activation
+    telemetry (leaky buckets, like the RAS CE telemetry) watches every
+    bank's activate stream; rows whose buckets cross ``act_threshold``
+    between refreshes flip bits in their physical neighbours, visible to
+    the data-integrity shadow memory. Mitigation is a three-rung ladder
+    (targeted victim refresh -> migration bias -> throttle/retire); with
+    ``mitigate=False`` the flips land unchecked so the harness can prove
+    the shadow memory catches unmitigated hammering. Defaults keep every
+    published number bit-identical.
+    """
+
+    enabled: bool = False
+    #: seed for the victim-bit-flip stream (independent of FaultPlan)
+    seed: int = 0
+    #: activations of one row between refreshes before its neighbours
+    #: take disturbance flips (real parts are O(10k-100k); scaled down
+    #: to epoch-sized experiments like the CE rates)
+    act_threshold: int = 64
+    #: fraction of ``act_threshold`` at which mitigation engages
+    alert_level: float = 0.5
+    #: leaky-bucket decay per epoch, in activation units (refresh between
+    #: epochs restores charge, so only *clustered* activation hammers)
+    act_leak: float = 8.0
+    #: run the mitigation ladder; False = detection-only (flips land)
+    mitigate: bool = True
+    #: targeted victim refreshes granted per row before escalating
+    victim_refresh_max: int = 4
+    #: sub-block flips landing per victim row on an unmitigated crossing
+    flips_per_victim: int = 1
+    #: hottest-page score bonus per bucketed activation of a page's rows
+    #: (biases migration to pull aggressor pages on-package, where tRFC
+    #: is short and victim refresh is cheap); 0 = no bias
+    migration_bias: float = 0.0
+    #: cycles charged per epoch while an escalated aggressor row is
+    #: activation-throttled (graceful degradation, not correctness)
+    throttle_cycles: int = 200
+
+    def __post_init__(self) -> None:
+        if self.act_threshold <= 0:
+            raise ConfigError("act_threshold must be positive")
+        if not 0.0 < self.alert_level <= 1.0:
+            raise ConfigError(
+                f"alert_level {self.alert_level} outside (0, 1]"
+            )
+        if self.act_leak < 0:
+            raise ConfigError("act_leak must be >= 0")
+        if self.victim_refresh_max < 0:
+            raise ConfigError("victim_refresh_max must be >= 0")
+        if self.flips_per_victim <= 0:
+            raise ConfigError("flips_per_victim must be positive")
+        if self.migration_bias < 0:
+            raise ConfigError("migration_bias must be >= 0")
+        if self.throttle_cycles < 0:
+            raise ConfigError("throttle_cycles must be >= 0")
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Top-level configuration tying the subsystems together."""
 
@@ -401,7 +501,8 @@ class SystemConfig:
     power: PowerConfig = field(default_factory=PowerConfig)
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     ras: RASConfig = field(default_factory=RASConfig)
-    frequency_hz: float = 3.2e9
+    disturb: DisturbConfig = field(default_factory=DisturbConfig)
+    frequency_hz: float = DEFAULT_FREQUENCY_HZ
 
     def __post_init__(self) -> None:
         # Fail fast: AddressMap validates the geometry.
@@ -438,6 +539,10 @@ class SystemConfig:
     def with_ras(self, **kwargs) -> "SystemConfig":
         """Return a copy with RAS fields replaced."""
         return replace(self, ras=replace(self.ras, **kwargs))
+
+    def with_disturb(self, **kwargs) -> "SystemConfig":
+        """Return a copy with row-disturbance fields replaced."""
+        return replace(self, disturb=replace(self.disturb, **kwargs))
 
 
 def paper_config(**migration_kwargs) -> SystemConfig:

@@ -24,9 +24,10 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 if TYPE_CHECKING:
-    from ..ras import RasReport
+    from ..ras import DisturbReport, RasReport
 
 from ..config import SystemConfig
+from ..dram.refresh import RefreshSchedule
 from ..errors import SimulationError, TranslationTableError, WatchdogError
 from ..memctrl.heterogeneous import HeterogeneousController
 from ..migration.engine import MigrationEngine
@@ -76,6 +77,8 @@ class SimulationResult:
     data_violations: int = 0
     #: RAS summary (None unless the run had ``RASConfig(enabled=True)``)
     ras: RasReport | None = None
+    #: row-disturbance summary (None unless ``DisturbConfig(enabled=True)``)
+    disturb: DisturbReport | None = None
 
     @property
     def average_latency(self) -> float:
@@ -124,6 +127,10 @@ class EpochSimulator:
             amap, config.migration, config.bus,
             resilience=config.resilience,
             reserved_pages=config.ras.reserved_pages(amap),
+            # None unless the timing enables refresh: the engine prices
+            # copy steps against each region's tRFC windows
+            onpkg_refresh=RefreshSchedule.from_timing(config.onpkg_dram),
+            offpkg_refresh=RefreshSchedule.from_timing(config.offpkg_dram),
         )
         #: runtime RAS orchestrator (None keeps the default path — and
         #: its import footprint — identical to a RAS-less build)
@@ -138,6 +145,17 @@ class EpochSimulator:
         self.shadow = None
         if track_data:
             self._attach_shadow()
+        #: row-disturbance orchestrator (None keeps the default path
+        #: identical, like RAS)
+        self._disturb = None
+        if config.disturb.enabled:
+            from ..ras.disturb import DisturbController
+
+            self._disturb = DisturbController(
+                config, self.engine, self.controller
+            )
+            self._disturb.ras = self._ras
+            self._disturb.shadow = self.shadow
         self._sb_shift = log2_exact(config.migration.subblock_bytes)
         self._last_time = -(1 << 62)
         self._epoch_index = 0
@@ -154,6 +172,8 @@ class EpochSimulator:
         self.shadow = ShadowMemory(self.engine.table)
         self.engine.shadow = self.shadow
         self.controller.shadow = self.shadow
+        if getattr(self, "_disturb", None) is not None:
+            self._disturb.shadow = self.shadow
 
     def attach_faults(self, plan: FaultPlan) -> None:
         """Arm a seeded fault plan; epochs consult it at their boundary.
@@ -196,6 +216,7 @@ class EpochSimulator:
             and self._fault_plan is None
             and self.shadow is None
             and self._ras is None
+            and self._disturb is None
             and not resilience.audit_interval
             and not resilience.epoch_cycle_budget
             and hasattr(self.controller.onpkg_model.device, "service_segmented")
@@ -241,6 +262,8 @@ class EpochSimulator:
             result.data_violations = len(self.shadow.violations)
         if self._ras is not None:
             result.ras = self._ras.report()
+        if self._disturb is not None:
+            result.disturb = self._disturb.report()
 
     def _run_epochwise(self, trace: TraceChunk, result: SimulationResult) -> None:
         """Reference per-epoch loop (resilience hooks live here)."""
@@ -289,6 +312,16 @@ class EpochSimulator:
                     epoch_index, now,
                     machine=machine, on=on, writes=epoch.rw != 0,
                     n_on=n_on, n_total=len(epoch),
+                )
+
+            if self._disturb is not None:
+                # activation folding + the mitigation ladder; victim
+                # refreshes and throttling charge this epoch's cycles,
+                # escalation rides the RAS/migration machinery instead
+                epoch_cycles += self._disturb.end_epoch(
+                    epoch_index, now,
+                    pages=pages_all[start:stop], machine=machine, on=on,
+                    offsets=offsets_all[start:stop],
                 )
 
             if resilience.epoch_cycle_budget and (
@@ -476,6 +509,11 @@ class EpochSimulator:
             elif ev.kind is FaultKind.SCRUB_LATENT:
                 if self._ras is not None:
                     self._ras.inject_latent(ev.param)
+            elif ev.kind is FaultKind.ROW_DISTURB:
+                # without a disturbance controller there is no activation
+                # telemetry to perturb: the fault lands on absent hardware
+                if self._disturb is not None:
+                    self._disturb.inject_hammer(ev.param)
         return dram_errors
 
     def _run_ecc(
@@ -551,6 +589,9 @@ class EpochSimulator:
             "controller": self.controller.state_dict(),
             "shadow": None if self.shadow is None else self.shadow.state_dict(),
             "ras": None if self._ras is None else self._ras.state_dict(),
+            "disturb": (
+                None if self._disturb is None else self._disturb.state_dict()
+            ),
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -573,3 +614,8 @@ class EpochSimulator:
         ras_state = state.get("ras")
         if ras_state is not None and self._ras is not None:
             self._ras.load_state_dict(ras_state)
+        # .get(): checkpoints written before row-disturbance existed
+        disturb_state = state.get("disturb")
+        if disturb_state is not None and self._disturb is not None:
+            self._disturb.load_state_dict(disturb_state)
+            self._disturb.shadow = self.shadow

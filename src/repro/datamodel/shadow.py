@@ -133,6 +133,28 @@ class ShadowMemory:
         """A copy fully landed: forward later stores at src into dst."""
         self._links.append([src, dst])
 
+    def corrupt(
+        self, loc: Location, subblocks: tuple[int, ...], time: int | None = None
+    ) -> int:
+        """Physical bit flips land at ``loc`` (row-disturbance model).
+
+        The named sub-blocks become garbage (``None``), exactly like the
+        checker's torn-copy residue: the next demand read resolving
+        there — or the final :meth:`verify_table` sweep — records a
+        :class:`DataViolation`. Engine ops landed by ``time`` are
+        flushed first so the flips hit what the location holds *then*.
+        Returns the number of cells newly corrupted (already-garbage
+        cells don't recount).
+        """
+        self.flush(time)
+        cells = self._cells(loc)
+        hit = 0
+        for sb in subblocks:
+            if cells[sb] is not None:
+                cells[sb] = None
+                hit += 1
+        return hit
+
     def close_links(self) -> None:
         """A plan completed: its table updates are live, copies stop."""
         self._links.clear()

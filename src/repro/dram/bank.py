@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..config import DramTiming
+from .refresh import RefreshSchedule
 
 
 @dataclass
@@ -21,6 +22,12 @@ class Bank:
     ready_time: int = 0         # cycle when the bank can accept work
     hits: int = field(default=0, repr=False)
     conflicts: int = field(default=0, repr=False)
+    _refresh: RefreshSchedule | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        self._refresh = RefreshSchedule.from_timing(self.timing)
 
     def would_hit(self, row: int) -> bool:
         return row == self.open_row
@@ -33,19 +40,29 @@ class Bank:
 
         ``start`` is when the bank begins (max of arrival and readiness);
         the bank then stays busy until ``finish``. A write adds ``t_wr``
-        recovery when the timing models it.
+        recovery when the timing models it. With refresh enabled, the
+        request is scheduled on the useful clock of the region's
+        :class:`~repro.dram.refresh.RefreshSchedule`, so a request that
+        is queued or mid-service when a tREFI window opens is suspended
+        for tRFC and resumes — not just deferred on arrival.
         """
         hit = self.would_hit(row)
-        if self.timing.refresh_interval:
-            # all-banks refresh window at the head of every tREFI period
-            phase = arrival % self.timing.refresh_interval
-            arrival += max(0, self.timing.refresh_cycles - phase)
-        start = max(arrival, self.ready_time)
-        # finite-queue backpressure proxy (see DramTiming.max_queue_wait)
-        start = min(start, arrival + self.timing.max_queue_wait)
-        finish = start + (self.timing.hit_cycles if hit else self.timing.miss_cycles)
+        service = self.timing.hit_cycles if hit else self.timing.miss_cycles
         if write:
-            finish += self.timing.t_wr
+            service += self.timing.t_wr
+        if self._refresh is not None:
+            sched = self._refresh
+            arrival_u = sched.useful(arrival)
+            start_u = max(arrival_u, sched.useful(self.ready_time))
+            # finite-queue backpressure proxy, on the useful clock
+            start_u = min(start_u, arrival_u + self.timing.max_queue_wait)
+            start = sched.wall(start_u, begin=True)
+            finish = sched.wall(start_u + service)
+        else:
+            start = max(arrival, self.ready_time)
+            # finite-queue backpressure proxy (see DramTiming.max_queue_wait)
+            start = min(start, arrival + self.timing.max_queue_wait)
+            finish = start + service
         self.open_row = row
         self.ready_time = finish
         if hit:

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import SimulationError
+from .refresh import RefreshSchedule
 from .timing import DramGeometry
 
 
@@ -29,6 +30,10 @@ class FastDevice:
         self.geometry = geometry
         self.row_hits = 0
         self.row_conflicts = 0
+        #: with refresh enabled, the whole recursion (including the
+        #: persistent ``_ready`` carry) runs on the warp's useful clock;
+        #: wall latencies are recovered at the end of each pass
+        self._refresh = RefreshSchedule.from_timing(geometry.timing)
         # persistent per-queue state so successive chunks continue seamlessly
         nq = geometry.n_queues
         self._open_row = np.full(nq, -1, dtype=np.int64)
@@ -161,14 +166,16 @@ class FastDevice:
         """
         n = addr.shape[0]
         timing = self.geometry.timing
-        refresh_delay = None
-        if timing.refresh_interval:
-            # accesses landing in a refresh window (tRFC at the head of
-            # every tREFI period; all banks blocked) start after it ends;
-            # the wait is part of their latency
-            phase = arrivals % timing.refresh_interval
-            refresh_delay = np.maximum(0, timing.refresh_cycles - phase)
-            arrivals = arrivals + refresh_delay
+        wall_arrivals = None
+        if self._refresh is not None:
+            # run the whole recursion on the useful clock: refresh
+            # windows vanish from the timeline, so a request queued or
+            # mid-service across a tREFI boundary is suspended for tRFC
+            # exactly like the event-driven Bank model. The warp is a
+            # pure function of global time, so it commutes with segment
+            # boundaries and the fused-exactness contract is unchanged.
+            wall_arrivals = arrivals
+            arrivals = self._refresh.useful_np(arrivals)
         queues, rows = self.geometry.queues_and_rows(addr)
 
         # Every full-width temporary here is a fresh multi-MB allocation
@@ -312,8 +319,13 @@ class FastDevice:
 
         latency = np.empty(n, dtype=np.int64)
         latency[order] = latency_sorted
-        if refresh_delay is not None:
-            latency += refresh_delay
+        if wall_arrivals is not None:
+            # useful-domain departure -> wall clock: every refresh
+            # window overlapped by the wait or the service shows up in
+            # the reported latency
+            latency += arrivals  # = useful-domain departures, input order
+            latency = self._refresh.wall_np(latency)
+            latency -= wall_arrivals
         return latency, True
 
     @property

@@ -35,6 +35,8 @@ from . import (
     fig12_14,
     fig15,
     fig16,
+    hammer_soak,
+    refresh,
     table1,
     table2_3,
     table4,
@@ -53,11 +55,13 @@ EXPERIMENTS = {
     "fig16": fig16.run,
     "table4": table4.run,
     "chaos-soak": chaos_soak.run,
+    "hammer-soak": hammer_soak.run,
+    "refresh": refresh.run,
 }
 
 #: experiments whose inner (workload x config) grids fan out through
 #: the supervisor when run individually
-GRID_EXPERIMENTS = {"table4", "fig12-14"}
+GRID_EXPERIMENTS = {"table4", "fig12-14", "refresh"}
 
 
 def render_experiment(name: str, fast: bool) -> str:

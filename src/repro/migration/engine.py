@@ -127,11 +127,19 @@ class MigrationEngine:
         *,
         resilience: ResilienceConfig | None = None,
         reserved_pages: frozenset[int] | set[int] = frozenset(),
+        onpkg_refresh=None,
+        offpkg_refresh=None,
     ):
         self.amap = amap
         self.config = config
         self.bus = bus or BusConfig()
         self.resilience = resilience or ResilienceConfig()
+        #: optional per-region :class:`~repro.dram.refresh.RefreshSchedule`
+        #: (set by EpochSimulator when the region's timing enables
+        #: refresh): a copy touching a refreshing region stalls for every
+        #: tRFC window its transfer overlaps. None = classic durations.
+        self.onpkg_refresh = onpkg_refresh
+        self.offpkg_refresh = offpkg_refresh
         basic = config.algorithm == MigrationAlgorithm.N
         self.table = TranslationTable(
             amap, reserve_empty_slot=not basic, reserved_pages=reserved_pages
@@ -161,6 +169,12 @@ class MigrationEngine:
         #: copy's destination writes and, when its penalty weight is
         #: positive, biases the hottest-page swap-candidate ranking
         self.wear = None
+        #: optional row-disturbance controller (set by DisturbController):
+        #: when its migration bias is positive, aggressively-activated
+        #: pages rank higher as swap candidates — migration doubles as
+        #: hammer mitigation by pulling them on-package, where tRFC is
+        #: short and victim refresh is cheap
+        self.disturb = None
         # RAS predictive-retirement accounting
         self.frames_retired = 0
         self.retired_bytes = 0
@@ -361,7 +375,17 @@ class MigrationEngine:
             wear_penalty = lambda pages: self.wear.penalty(  # noqa: E731
                 self.table.machine_of[np.asarray(pages, dtype=np.int64)]
             )
-        hottest = self.monitor.hottest_page(wear_penalty=wear_penalty)
+        score_penalty = wear_penalty
+        if self.disturb is not None and self.disturb.bias_weight > 0:
+            # hammer-aware ranking: an aggressor page's *negative*
+            # penalty (a bonus) pulls it on-package, where disturbance
+            # is cheap to mitigate; composes with the wear penalty
+            score_penalty = lambda pages, _wear=wear_penalty: (  # noqa: E731
+                -self.disturb.page_bonus(pages)
+                if _wear is None
+                else _wear(pages) - self.disturb.page_bonus(pages)
+            )
+        hottest = self.monitor.hottest_page(wear_penalty=score_penalty)
         if hottest is None:
             self.monitor.new_epoch()
             return SwapDecision(False, "no off-package accesses this epoch")
@@ -433,6 +457,31 @@ class MigrationEngine:
         )
         return max(1, int(round(step.nbytes / bw)))
 
+    def _copy_duration(self, start: int, step: CopyStep) -> int:
+        """Wall duration of one copy starting at ``start``.
+
+        The bus-limited transfer time, stretched by any tRFC window of
+        the DRAM regions the step touches: a swap copy landing on a
+        refreshing bank stalls until the window closes. A cross-boundary
+        step touching both regions takes the worse of the two stretches
+        (the transfer cannot proceed while either end is refreshing).
+        """
+        base = self._copy_cycles(step)
+        if self.onpkg_refresh is None and self.offpkg_refresh is None:
+            return base
+        touches_on = touches_off = False
+        for loc in (step.src, step.dst):
+            if loc is None:
+                continue
+            touches_on |= loc[0] == "slot"
+            touches_off |= loc[0] == "mach"
+        duration = base
+        if touches_on and self.onpkg_refresh is not None:
+            duration = max(duration, self.onpkg_refresh.stretch(start, base))
+        if touches_off and self.offpkg_refresh is not None:
+            duration = max(duration, self.offpkg_refresh.stretch(start, base))
+        return duration
+
     def _schedule(self, now: int, mru: int, lru: int, first_subblock: int) -> None:
         cfg = self.config
         if cfg.algorithm == MigrationAlgorithm.N:
@@ -481,7 +530,7 @@ class MigrationEngine:
                             # micro-boundary abort: part of the Live fill
                             # already landed (destination is garbage as a
                             # whole page, hence complete=False)
-                            duration = self._copy_cycles(step)
+                            duration = self._copy_duration(t, step)
                             n_sb = self.amap.subblocks_per_page
                             sbc = max(1, duration // n_sb)
                             landed = min(int(abort_subblocks), n_sb - 1)
@@ -500,7 +549,7 @@ class MigrationEngine:
                             f"{copy_index} ({step.label}){detail}"
                         )
                     copy_index += 1
-                    duration = self._copy_cycles(step)
+                    duration = self._copy_duration(t, step)
                     if step.incoming:
                         n_sb = self.amap.subblocks_per_page
                         fill = FillInfo(
@@ -647,9 +696,10 @@ class MigrationEngine:
             for step in steps:
                 if step.dst is not None and step.dst[0] == "mach":
                     self.wear.observe_copy(step.dst[1], step.nbytes)
-        cycles = sum(self._copy_cycles(s) for s in steps)
+        end = now
+        for s in steps:
+            end += self._copy_duration(end, s)
         nbytes = sum(s.nbytes for s in steps)
-        end = now + cycles
         self.active = ActiveMigration(
             plan=None, start=now, end=end, fill=None, timelines={},
             recovery=True,
@@ -745,11 +795,12 @@ class MigrationEngine:
             for step in steps:
                 self.shadow.apply_copy(step.src, step.dst)
         self.table.load_state_dict(snapshot)
-        cycles = sum(self._copy_cycles(s) for s in steps)
+        end = t_abort
+        for s in steps:
+            end += self._copy_duration(end, s)
         nbytes = sum(s.nbytes for s in steps)
         self.abort_recoveries += 1
         self.recovery_bytes += nbytes
-        end = t_abort + cycles
         self.degradation_events.append(
             DegradationEvent(
                 time=now, epoch=self.epochs_observed, kind=ABORT_RECOVERED,

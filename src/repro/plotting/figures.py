@@ -118,6 +118,25 @@ def fig16(outdir: Path, n: int, workloads) -> None:
     chart.save(outdir / "fig16_power.svg")
 
 
+def refresh_overhead(outdir: Path, n_epochs: int) -> None:
+    # deferred import: repro.experiments.refresh pulls the simulator
+    from ..experiments.refresh import MODES, points
+
+    chart = BarChart(
+        "Refresh — avg latency with tREFI/tRFC scheduling",
+        ylabel="avg latency (cycles)",
+    )
+    rows = points(n_epochs)
+    chart.categories = list(MigrationAlgorithm.ALL)
+    by_key = {(r["algorithm"], r["mode"]): r["avg_latency"] for r in rows}
+    for mode in MODES:
+        chart.add_series(
+            f"refresh: {mode}",
+            [by_key[(alg, mode)] for alg in chart.categories],
+        )
+    chart.save(outdir / "refresh_overhead.svg")
+
+
 def main(argv: list[str] | None = None) -> int:
     args = argv if argv is not None else sys.argv[1:]
     outdir = Path(args[0]) if args else Path("figures")
@@ -131,6 +150,7 @@ def main(argv: list[str] | None = None) -> int:
     fig12_14(outdir, n_mig, workloads)
     fig15(outdir, n_mig, workloads)
     fig16(outdir, n_mig, workloads)
+    refresh_overhead(outdir, n_epochs=80)
     print(f"wrote {len(list(outdir.glob('*.svg')))} figures to {outdir}/")
     return 0
 

@@ -13,13 +13,17 @@ to a build without this package.
 """
 
 from .controller import RasController, RasReport, RetirementEvent
+from .disturb import ActivationTelemetry, DisturbController, DisturbReport
 from .retirement import retirement_moves
 from .scrub import PatrolScrubber
 from .telemetry import CETelemetry
 from .wear import LINE_BYTES, WearModel
 
 __all__ = [
+    "ActivationTelemetry",
     "CETelemetry",
+    "DisturbController",
+    "DisturbReport",
     "LINE_BYTES",
     "PatrolScrubber",
     "RasController",

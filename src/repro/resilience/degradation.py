@@ -28,6 +28,9 @@ DRAM_UNCORRECTABLE = "dram-uncorrectable"
 TRACE_SALVAGED = "trace-salvaged"
 FRAME_RETIRED = "frame-retired"
 RETIREMENT_SUPPRESSED = "retirement-suppressed"
+VICTIM_REFRESHED = "victim-refreshed"
+HAMMER_THROTTLED = "hammer-throttled"
+ROW_DISTURB_FLIPS = "row-disturb-flips"
 
 
 @dataclass(frozen=True)

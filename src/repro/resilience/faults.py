@@ -54,13 +54,21 @@ class FaultKind(str, Enum):
     #: patrol scrubber's next pass over that frame surfaces it into CE
     #: telemetry (no-op without RAS)
     SCRUB_LATENT = "scrub-latent"
+    #: an aggressive row-activation (rowhammer) burst: the targeted
+    #: row's activation bucket jumps straight past the disturbance
+    #: threshold, so its physical neighbours take bit flips unless the
+    #: mitigation ladder intervenes (no-op unless the run has
+    #: ``DisturbConfig(enabled=True)``)
+    ROW_DISTURB = "row-disturb"
 
 
 #: kinds a default :meth:`FaultPlan.random` draws from. Deliberately the
 #: original five: the RAS kinds are no-ops unless the simulator runs
-#: with ``RASConfig(enabled=True)``, and extending the default tuple
-#: would shift every existing seeded campaign's draws. RAS campaigns
-#: opt in via ``FaultPlan.random(..., kinds=(...,) )`` or explicit events.
+#: with ``RASConfig(enabled=True)`` (and ``ROW_DISTURB`` without
+#: ``DisturbConfig(enabled=True)``), and extending the default tuple
+#: would shift every existing seeded campaign's draws. RAS/disturbance
+#: campaigns opt in via ``FaultPlan.random(..., kinds=(...,))`` or
+#: explicit events.
 CORE_FAULT_KINDS = (
     FaultKind.ABORT_SWAP,
     FaultKind.STUCK_P_BIT,
@@ -78,7 +86,9 @@ class FaultEvent:
     the slot index for the bit flips, the error count for
     ``DRAM_TRANSIENT`` (0 picks a seeded default), the target frame
     index for ``CE_BURST`` / ``SCRUB_LATENT`` (wrapped onto a usable
-    frame by the RAS controller).
+    frame by the RAS controller), and the aggressor-row selector for
+    ``ROW_DISTURB`` (wrapped onto one of the epoch's active rows by the
+    disturbance controller).
 
     ``subblocks`` refines ``ABORT_SWAP`` only: when the targeted copy
     step is a Live Migration fill, that many sub-blocks land before the

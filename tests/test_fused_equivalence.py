@@ -11,7 +11,12 @@ import dataclasses
 import numpy as np
 import pytest
 
-from repro.config import MigrationConfig, SystemConfig
+from repro.config import (
+    MigrationConfig,
+    SystemConfig,
+    offpkg_dram_timing,
+    onpkg_dram_timing,
+)
 from repro.core.hetero_memory import HeterogeneousMainMemory
 from repro.trace.record import make_chunk
 from repro.units import KB, MB
@@ -118,3 +123,47 @@ class TestVariants:
         cfg = _cfg()
         assert_identical(cfg, make_chunk([]))
         assert_identical(cfg, make_chunk([0, 4096, 8192]))
+
+
+class TestRefresh:
+    """The tREFI/tRFC time warp is a pure function of global time, so
+    it must commute with segment boundaries: enabling refresh keeps the
+    fused path bit-identical while exercising mid-service suspensions
+    and refresh-stretched migration copies."""
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_bit_identical_with_refresh_both_tiers(self, algorithm):
+        cfg = dataclasses.replace(
+            _cfg(algorithm=algorithm),
+            offpkg_dram=offpkg_dram_timing(refresh=True),
+            onpkg_dram=onpkg_dram_timing(refresh=True),
+        )
+        r = assert_identical(cfg, _trace())
+        assert r.swaps_triggered > 0  # refresh-stretched copies included
+
+    def test_bit_identical_with_refresh_offpkg_only(self):
+        cfg = dataclasses.replace(
+            _cfg(), offpkg_dram=offpkg_dram_timing(refresh=True)
+        )
+        assert_identical(cfg, _trace())
+
+    def test_refresh_survives_chunked_feeding(self):
+        # chunk boundaries land at arbitrary phases of the tREFI period
+        cfg = dataclasses.replace(
+            _cfg(),
+            offpkg_dram=offpkg_dram_timing(refresh=True),
+            onpkg_dram=onpkg_dram_timing(refresh=True),
+        )
+        assert_identical(cfg, _trace(), chunks=7)
+
+    def test_refresh_changes_the_numbers(self):
+        # guard against the refresh flag silently not reaching the model
+        base = assert_identical(_cfg(), _trace(), migrate=False)
+        taxed = assert_identical(
+            dataclasses.replace(
+                _cfg(), offpkg_dram=offpkg_dram_timing(refresh=True)
+            ),
+            _trace(),
+            migrate=False,
+        )
+        assert taxed.total_latency > base.total_latency
