@@ -3,6 +3,7 @@
 Subcommands::
 
     repro-lint lint [PATHS...]      AST lint over source trees
+    repro-lint domains [PATHS...]   flow-sensitive domain-confusion check
     repro-lint protocol             exhaustive swap-protocol model check
     repro-lint faults               fault-kind -> violated-invariant table
     repro-lint rules                print the rule catalog
@@ -56,6 +57,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if not args.fail_on_new:
         return 1 if report.parse_errors else 0
     return report.exit_code
+
+
+def _cmd_domains(args: argparse.Namespace) -> int:
+    # the domain analyzer is the lint chassis pinned to one rule
+    args.select = ["domain-confusion"]
+    args.disable = None
+    return _cmd_lint(args)
 
 
 def _cmd_protocol(args: argparse.Namespace) -> int:
@@ -143,27 +151,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_lint_io_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("paths", nargs="*", default=["src"],
+                       help="files or directories (default: src)")
+        p.add_argument("--json", action="store_true",
+                       help="machine-readable report on stdout")
+        p.add_argument("--baseline", default=DEFAULT_BASELINE_NAME,
+                       help="baseline file (default: %(default)s)")
+        p.add_argument("--write-baseline", action="store_true",
+                       help="grandfather all current findings and exit 0")
+        p.add_argument("--fail-on-new", default=True,
+                       action=argparse.BooleanOptionalAction,
+                       help="exit 1 when non-baselined findings exist")
+        p.add_argument("--show-baselined", action="store_true",
+                       help="also print grandfathered findings")
+        p.add_argument("--root", default=None,
+                       help="repo root for relative paths in the report")
+
     p_lint = sub.add_parser("lint", help="run the AST lint rules")
-    p_lint.add_argument("paths", nargs="*", default=["src"],
-                        help="files or directories (default: src)")
-    p_lint.add_argument("--json", action="store_true",
-                        help="machine-readable report on stdout")
-    p_lint.add_argument("--baseline", default=DEFAULT_BASELINE_NAME,
-                        help="baseline file (default: %(default)s)")
-    p_lint.add_argument("--write-baseline", action="store_true",
-                        help="grandfather all current findings and exit 0")
-    p_lint.add_argument("--fail-on-new", default=True,
-                        action=argparse.BooleanOptionalAction,
-                        help="exit 1 when non-baselined findings exist")
-    p_lint.add_argument("--show-baselined", action="store_true",
-                        help="also print grandfathered findings")
+    add_lint_io_args(p_lint)
     p_lint.add_argument("--select", action="append", metavar="RULE",
                         help="run only these rules (repeatable)")
     p_lint.add_argument("--disable", action="append", metavar="RULE",
                         help="skip these rules (repeatable)")
-    p_lint.add_argument("--root", default=None,
-                        help="repo root for relative paths in the report")
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_domains = sub.add_parser(
+        "domains",
+        help="flow-sensitive clock/address domain-confusion analysis",
+    )
+    add_lint_io_args(p_domains)
+    p_domains.set_defaults(func=_cmd_domains)
 
     p_proto = sub.add_parser(
         "protocol", help="exhaustively model-check the swap step sequences"
@@ -197,7 +215,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on unknown/misspelled subcommands and bad
+        # flags (0 for --help); normalise to an int so in-process
+        # callers always get a return code instead of an exception
+        code = exc.code
+        if code is None:
+            return 0
+        return code if isinstance(code, int) else 2
     try:
         return args.func(args)
     except AnalysisError as exc:

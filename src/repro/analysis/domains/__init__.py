@@ -1,0 +1,53 @@
+"""Flow-sensitive semantic-domain (clock / address taint) analysis.
+
+See :mod:`repro.analysis.domains.model` for the domain lattice,
+:mod:`~.interp` for the abstract interpreter, and :mod:`~.rule` for the
+``domain-confusion`` lint rule riding the ``repro-lint`` chassis.
+"""
+
+from .annotate import Annotation, extract_annotations, parse_directive
+from .infer import infer_domain, name_tokens
+from .interp import Confusion, ModuleFlow, analyze_module
+from .model import (
+    ADDRESS_DOMAINS,
+    CLOCK_DOMAINS,
+    MAX_STEPS,
+    UNKNOWN,
+    Confidence,
+    Domain,
+    DomainValue,
+    conflict,
+    conversion_hint,
+    join,
+)
+from .signatures import (
+    SIGNATURES,
+    Signature,
+    signature_for_call,
+    signature_for_def,
+)
+
+__all__ = [
+    "ADDRESS_DOMAINS",
+    "Annotation",
+    "CLOCK_DOMAINS",
+    "Confidence",
+    "Confusion",
+    "Domain",
+    "DomainValue",
+    "MAX_STEPS",
+    "ModuleFlow",
+    "SIGNATURES",
+    "Signature",
+    "UNKNOWN",
+    "analyze_module",
+    "conflict",
+    "conversion_hint",
+    "extract_annotations",
+    "infer_domain",
+    "join",
+    "name_tokens",
+    "parse_directive",
+    "signature_for_call",
+    "signature_for_def",
+]

@@ -1,0 +1,93 @@
+"""Inline ``# repro-domain:`` annotations (the middle seeding tier).
+
+Two forms, both attached to the line they appear on and extracted with
+:mod:`tokenize` so string literals never count:
+
+* **bare** — ``x = resolve_it()  # repro-domain: machine_frame`` asserts
+  the domain of the value assigned on that line. On a ``Name`` target it
+  binds the variable; on an attribute/subscript store it acts as a
+  *cast*, documenting a deliberate reinterpretation (e.g. the identity
+  home mapping writing a page id into a frame-indexed mirror).
+* **named** — ``def f(t, u):  # repro-domain: t=wall_cycles,
+  return=useful_cycles`` seeds parameter domains and the expected
+  return domain of the ``def`` on that line.
+
+Trailing prose after the directive is allowed and encouraged:
+``# repro-domain: machine_frame - identity mapping``.
+"""
+
+from __future__ import annotations
+
+import io
+import tokenize
+from dataclasses import dataclass, field
+
+from .model import Domain
+
+MARKER = "repro-domain:"
+
+#: accepted spellings -> Domain
+_DOMAIN_NAMES = {d.value: d for d in Domain}
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """One parsed ``# repro-domain:`` directive."""
+
+    line: int
+    #: bare form: the asserted value domain (None when only named)
+    value: Domain | None = None
+    #: named form: parameter name -> domain ("return" for the result)
+    names: dict[str, Domain] = field(default_factory=dict)
+    #: spellings that matched no known domain (reported as findings)
+    errors: tuple[str, ...] = ()
+
+
+def parse_directive(line: int, text: str) -> Annotation:
+    """Parse the directive body (after the marker) of one comment."""
+    # allow trailing prose after " - " or " — "
+    for sep in (" - ", " -- ", " — "):
+        cut = text.find(sep)
+        if cut >= 0:
+            text = text[:cut]
+    value: Domain | None = None
+    names: dict[str, Domain] = {}
+    errors: list[str] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" in part:
+            key, _, spelled = part.partition("=")
+            key, spelled = key.strip(), spelled.strip()
+            domain = _DOMAIN_NAMES.get(spelled)
+            if key and domain is not None:
+                names[key] = domain
+            else:
+                errors.append(part)
+        else:
+            domain = _DOMAIN_NAMES.get(part)
+            if domain is not None:
+                value = domain
+            else:
+                errors.append(part)
+    return Annotation(line=line, value=value, names=names,
+                      errors=tuple(errors))
+
+
+def extract_annotations(source: str) -> dict[int, Annotation]:
+    """Map line number -> parsed annotation for one file."""
+    out: dict[int, Annotation] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            pos = tok.string.find(MARKER)
+            if pos < 0:
+                continue
+            body = tok.string[pos + len(MARKER):].strip()
+            out[tok.start[0]] = parse_directive(tok.start[0], body)
+    except tokenize.TokenError:
+        pass  # unterminated constructs: ast.parse fails first anyway
+    return out

@@ -1,0 +1,86 @@
+"""Name-pattern domain inference (the lowest-confidence seeding tier).
+
+Unannotated code still gets checked: identifier names are split into
+snake-case tokens and matched against per-domain vocabularies. The
+inference is deliberately conservative — *quantity* names (counts,
+sizes, bit widths, rates) carry a stop token and infer nothing, because
+``n_slots`` is a number of frames, not a frame index, and comparing a
+page index against it is legitimate.
+
+Precedence runs most-specific first: ``machine_page`` is a machine
+frame even though ``page`` alone is a virtual page; ``subblock_bytes``
+is a size (stop token) even though ``subblock`` alone is an index.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .model import Domain
+
+#: tokens marking a *quantity* (count / size / width / rate), never an
+#: index or an instant — these poison the whole name
+STOP_TOKENS = frozenset(
+    {
+        "n", "num", "count", "counts", "total", "len", "length", "size",
+        "sizes", "bytes", "bits", "shift", "shifts", "mask", "width",
+        "depth", "per", "max", "min", "limit", "cap", "capacity",
+        "budget", "rate", "rates", "frac", "fraction", "ratio",
+        "overhead", "threshold", "level", "granularity", "interval",
+        "window", "period", "quota", "hits", "conflicts", "bitmap",
+    }
+)
+
+#: vocabulary, checked in order (first match wins) — multi-token rules
+#: before the single tokens they would otherwise shadow
+_RULES: tuple[tuple[frozenset[str], Domain], ...] = (
+    (frozenset({"machine", "page"}), Domain.MACHINE_FRAME),
+    (frozenset({"machine", "pages"}), Domain.MACHINE_FRAME),
+    (frozenset({"wall"}), Domain.WALL_CYCLES),
+    (frozenset({"useful"}), Domain.USEFUL_CYCLES),
+    (frozenset({"frame"}), Domain.MACHINE_FRAME),
+    (frozenset({"frames"}), Domain.MACHINE_FRAME),
+    (frozenset({"slot"}), Domain.MACHINE_FRAME),
+    (frozenset({"slots"}), Domain.MACHINE_FRAME),
+    (frozenset({"machine"}), Domain.MACHINE_FRAME),
+    (frozenset({"subblock"}), Domain.SUBBLOCK_IDX),
+    (frozenset({"subblocks"}), Domain.SUBBLOCK_IDX),
+    (frozenset({"row"}), Domain.DRAM_ROW),
+    (frozenset({"rows"}), Domain.DRAM_ROW),
+    (frozenset({"addr"}), Domain.BYTE_ADDR),
+    (frozenset({"addrs"}), Domain.BYTE_ADDR),
+    (frozenset({"address"}), Domain.BYTE_ADDR),
+    (frozenset({"addresses"}), Domain.BYTE_ADDR),
+    (frozenset({"offset"}), Domain.BYTE_ADDR),
+    (frozenset({"offsets"}), Domain.BYTE_ADDR),
+    (frozenset({"vpage"}), Domain.VIRTUAL_PAGE),
+    (frozenset({"page"}), Domain.VIRTUAL_PAGE),
+    (frozenset({"pages"}), Domain.VIRTUAL_PAGE),
+)
+
+_CAMEL = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+
+
+def name_tokens(name: str) -> list[str]:
+    """Split an identifier into lowercase tokens (snake and camel)."""
+    flat = _CAMEL.sub("_", name)
+    return [t for t in flat.lower().split("_") if t]
+
+
+def infer_domain(name: str) -> Domain | None:
+    """The domain an identifier's name suggests, or None.
+
+    >>> infer_domain("wall_arrivals").value
+    'wall_cycles'
+    >>> infer_domain("machine_page").value
+    'machine_frame'
+    >>> infer_domain("n_slots") is None   # a count, not an index
+    True
+    """
+    tokens = set(name_tokens(name))
+    if not tokens or tokens & STOP_TOKENS:
+        return None
+    for required, domain in _RULES:
+        if required <= tokens:
+            return domain
+    return None

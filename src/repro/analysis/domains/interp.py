@@ -1,0 +1,703 @@
+"""Flow-sensitive, intra-procedural abstract interpretation over the AST.
+
+Each function body (and the module top level) is executed abstractly:
+an environment maps local names to :class:`~.model.DomainValue`s, and
+statements are walked in program order — assignments bind, branches
+fork the environment and re-join (:func:`~.model.join`), loop bodies
+run twice so domains established late in an iteration flow back to the
+top. Domains enter through three tiers: the signature registry
+(declared), ``# repro-domain:`` annotations (annotated), and
+name-pattern inference at *use* sites (inferred) so unannotated code
+still participates.
+
+Confusions are reported at the operation that mixes two known,
+distinct domains:
+
+* arithmetic (``+``/``-``, including augmented assignment),
+* comparisons (``<`` .. ``==``, plus ``min``/``max``/``np.maximum``…),
+* two-way selection (ternary ``a if c else b``, ``np.where``),
+* argument passing against a declared signature parameter,
+* ``return`` against a declared/annotated return domain,
+* stores into a container/attribute whose name implies a domain.
+
+Every finding carries the provenance trail of both operands as a
+step-indexed dataflow trace (the protocol checker's counterexample
+style): *where* each side acquired its domain, hop by hop, ending at
+the mixing operation.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from .annotate import Annotation
+from .infer import infer_domain
+from .model import (
+    UNKNOWN,
+    Confidence,
+    Domain,
+    DomainValue,
+    conflict,
+    conversion_hint,
+    join,
+)
+from .signatures import Signature, signature_for_call, signature_for_def
+
+#: single-argument calls that preserve their operand's domain
+_PASSTHROUGH = frozenset(
+    {
+        "int", "abs", "round", "sorted", "asarray", "ascontiguousarray",
+        "array", "int64", "int32", "take", "copy", "squeeze", "ravel",
+    }
+)
+#: zero-argument methods preserving the receiver's domain
+_RECEIVER_METHODS = frozenset(
+    {"copy", "get", "astype", "item", "tolist", "reshape", "ravel",
+     "squeeze", "pop"}
+)
+#: calls with comparison semantics over their positional arguments
+_COMPARE_CALLS = frozenset(
+    {
+        "min", "max", "minimum", "maximum", "fmin", "fmax",
+        "equal", "not_equal", "less", "less_equal", "greater",
+        "greater_equal",
+    }
+)
+_COMPARE_OPS = (ast.Eq, ast.NotEq, ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+_ARITH_OPS = (ast.Add, ast.Sub)
+
+_OP_TEXT = {ast.Add: "+", ast.Sub: "-"}
+
+
+def _short(node: ast.AST, limit: int = 48) -> str:
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse covers all exprs we eval
+        text = type(node).__name__
+    text = " ".join(text.split())
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+@dataclass(frozen=True)
+class Confusion:
+    """One detected cross-domain operation."""
+
+    node: ast.AST
+    kind: str                 # comparison / arithmetic / argument / ...
+    message: str
+    trace: tuple[str, ...]    # step-indexed dataflow trace
+    confidence: Confidence    # the weaker side's tier
+
+
+def _format_trace(left: DomainValue, right: DomainValue,
+                  final: tuple[int, str]) -> tuple[str, ...]:
+    steps: list[tuple[int, str]] = []
+    for side in (left, right):
+        for entry in side.steps:
+            if entry not in steps:
+                steps.append(entry)
+    steps.append(final)
+    return tuple(
+        f"step {i}: line {line}: {desc}"
+        for i, (line, desc) in enumerate(steps)
+    )
+
+
+class ModuleFlow:
+    """Abstract interpreter over one module; collects :class:`Confusion`s."""
+
+    def __init__(self, tree: ast.Module,
+                 annotations: dict[int, Annotation] | None = None):
+        self.tree = tree
+        self.annotations = annotations or {}
+        self.confusions: list[Confusion] = []
+        self._seen: set[tuple] = set()
+        #: queued (function node, enclosing class name) pairs
+        self._pending: list[tuple[ast.AST, str | None]] = []
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+    def run(self) -> list[Confusion]:
+        for ann in self.annotations.values():
+            for bad in ann.errors:
+                self._emit(Confusion(
+                    node=_Anchor(ann.line), kind="annotation",
+                    message=(
+                        f"unknown domain {bad!r} in repro-domain annotation; "
+                        "known domains: "
+                        + ", ".join(d.value for d in Domain)
+                    ),
+                    trace=(), confidence=Confidence.ANNOTATED,
+                ))
+        self._exec_body(self.tree.body, {}, class_name=None)
+        while self._pending:
+            node, class_name = self._pending.pop(0)
+            self._run_function(node, class_name)
+        return self.confusions
+
+    def _run_function(self, node, class_name: str | None) -> None:
+        env: dict[str, DomainValue] = {}
+        sig = signature_for_def(class_name, node.name)
+        ann = self.annotations.get(node.lineno)
+        qual = f"{class_name}.{node.name}" if class_name else node.name
+        a = node.args
+        params = [*a.posonlyargs, *a.args, *a.kwonlyargs]
+        for p in params:
+            if p.arg in ("self", "cls"):
+                continue
+            dom: Domain | None = None
+            conf = Confidence.INFERRED
+            why = ""
+            if sig is not None:
+                for pname, pdom in sig.params:
+                    if pname == p.arg and pdom is not None:
+                        dom, conf = pdom, Confidence.DECLARED
+                        why = f"(declared signature {sig.qualname})"
+                        break
+            if dom is None and ann is not None and p.arg in ann.names:
+                dom, conf = ann.names[p.arg], Confidence.ANNOTATED
+                why = "(annotated)"
+            if dom is not None:
+                env[p.arg] = DomainValue(dom, conf, (
+                    (node.lineno,
+                     f"parameter {p.arg!r} of {qual}: {dom.value} {why}"),
+                ))
+        self._expected_return = None
+        if sig is not None and sig.returns is not None:
+            self._expected_return = (sig.returns, Confidence.DECLARED, qual)
+        elif ann is not None and "return" in ann.names:
+            self._expected_return = (
+                ann.names["return"], Confidence.ANNOTATED, qual)
+        self._exec_body(node.body, env, class_name=None)
+        self._expected_return = None
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def _exec_body(self, body, env, *, class_name: str | None) -> None:
+        for stmt in body:
+            self._exec_stmt(stmt, env, class_name)
+
+    def _exec_stmt(self, stmt, env, class_name: str | None) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._pending.append((stmt, class_name))
+            env[stmt.name] = UNKNOWN
+        elif isinstance(stmt, ast.ClassDef):
+            self._exec_body(stmt.body, {}, class_name=stmt.name)
+            env[stmt.name] = UNKNOWN
+        elif isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value, env)
+            value = self._apply_line_annotation(stmt, value)
+            for target in stmt.targets:
+                self._assign(target, value, env, stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value = self._eval(stmt.value, env)
+                value = self._apply_line_annotation(stmt, value)
+                self._assign(stmt.target, value, env, stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            left = self._eval(stmt.target, env)
+            right = self._eval(stmt.value, env)
+            result = left
+            if isinstance(stmt.op, _ARITH_OPS):
+                result = self._combine_arith(stmt, left, right,
+                                             _OP_TEXT[type(stmt.op)], env)
+            elif not left.known:
+                result = UNKNOWN
+            ann = self.annotations.get(stmt.lineno)
+            if ann is not None and ann.value is not None:
+                result = self._annotated_value(ann, stmt)
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = result
+        elif isinstance(stmt, ast.Return):
+            value = (self._eval(stmt.value, env)
+                     if stmt.value is not None else UNKNOWN)
+            value = self._apply_line_annotation(stmt, value)
+            self._check_return(stmt, value)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, env)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test, env)
+            then_env = dict(env)
+            self._exec_body(stmt.body, then_env, class_name=class_name)
+            else_env = dict(env)
+            self._exec_body(stmt.orelse, else_env, class_name=class_name)
+            self._merge(env, then_env, else_env)
+        elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            self._exec_loop(stmt, env, class_name)
+        elif isinstance(stmt, ast.Try):
+            branches = []
+            body_env = dict(env)
+            self._exec_body(stmt.body, body_env, class_name=class_name)
+            branches.append(body_env)
+            for handler in stmt.handlers:
+                h_env = dict(env)
+                if handler.name:
+                    h_env[handler.name] = UNKNOWN
+                self._exec_body(handler.body, h_env, class_name=class_name)
+                branches.append(h_env)
+            if stmt.orelse:
+                self._exec_body(stmt.orelse, body_env, class_name=class_name)
+            self._merge(env, *branches)
+            self._exec_body(stmt.finalbody, env, class_name=class_name)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._eval(item.context_expr, env)
+                if isinstance(item.optional_vars, ast.Name):
+                    env[item.optional_vars.id] = UNKNOWN
+            self._exec_body(stmt.body, env, class_name=class_name)
+        elif isinstance(stmt, ast.Assert):
+            self._eval(stmt.test, env)
+            if stmt.msg is not None:
+                self._eval(stmt.msg, env)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._eval(stmt.exc, env)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        elif isinstance(stmt, ast.Match):
+            self._eval(stmt.subject, env)
+            branches = []
+            for case in stmt.cases:
+                c_env = dict(env)
+                self._exec_body(case.body, c_env, class_name=class_name)
+                branches.append(c_env)
+            if branches:
+                self._merge(env, *branches)
+        # Import/Global/Nonlocal/Pass/Break/Continue: no domain effect
+
+    def _exec_loop(self, stmt, env, class_name: str | None) -> None:
+        loop_env = dict(env)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_value = self._eval(stmt.iter, env)
+            self._assign(stmt.target, self._element_of(iter_value, stmt),
+                         loop_env, stmt)
+        else:
+            self._eval(stmt.test, env)
+        # two passes: domains established late in the body flow back to
+        # the top on the second pass (findings are de-duplicated)
+        self._exec_body(stmt.body, loop_env, class_name=class_name)
+        self._exec_body(stmt.body, loop_env, class_name=class_name)
+        self._merge(env, loop_env)
+        self._exec_body(stmt.orelse, env, class_name=class_name)
+
+    def _element_of(self, iterable: DomainValue, stmt) -> DomainValue:
+        # containers are homogeneous in this model: iterating a
+        # frame-indexed array yields machine frames
+        if iterable.known:
+            return iterable.step(
+                stmt.lineno, f"loop element -> {iterable.domain.value}")
+        if iterable.elements is not None:
+            return iterable
+        return UNKNOWN
+
+    def _merge(self, env: dict, *branches: dict) -> None:
+        keys = set(env)
+        for b in branches:
+            keys |= set(b)
+        for key in sorted(keys):
+            values = [b.get(key, env.get(key, UNKNOWN)) for b in branches]
+            merged = values[0] if values else env.get(key, UNKNOWN)
+            for v in values[1:]:
+                merged = join(merged, v)
+            env[key] = merged
+
+    # ------------------------------------------------------------------
+    # assignment / return checks
+    # ------------------------------------------------------------------
+    def _apply_line_annotation(self, stmt, value: DomainValue) -> DomainValue:
+        ann = self.annotations.get(stmt.lineno)
+        if ann is not None and ann.value is not None:
+            return self._annotated_value(ann, stmt)
+        return value
+
+    def _annotated_value(self, ann: Annotation, stmt) -> DomainValue:
+        return DomainValue(ann.value, Confidence.ANNOTATED, (
+            (stmt.lineno, f"annotated {ann.value.value}"),
+        ))
+
+    def _assign(self, target, value: DomainValue, env, stmt) -> None:
+        if isinstance(target, ast.Name):
+            if value.known:
+                value = value.step(
+                    stmt.lineno,
+                    f"{target.id} = {_short(stmt.value)}"
+                    if hasattr(stmt, "value") and stmt.value is not None
+                    else f"{target.id} bound",
+                )
+            env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            names = target.elts
+            parts = value.elements
+            if parts is not None and len(parts) == len(names):
+                for name, part in zip(names, parts):
+                    self._assign(name, part, env, stmt)
+            else:
+                for name in names:
+                    self._assign(name, UNKNOWN, env, stmt)
+        elif isinstance(target, ast.Starred):
+            self._assign(target.value, UNKNOWN, env, stmt)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            slot = self._store_target_value(target, env)
+            if conflict(slot, value):
+                self._report(
+                    stmt, "assignment", slot, value,
+                    f"storing into {_short(target)}",
+                )
+
+    def _store_target_value(self, target, env) -> DomainValue:
+        if isinstance(target, ast.Attribute):
+            dom = infer_domain(target.attr)
+            if dom is not None:
+                return DomainValue(dom, Confidence.INFERRED, (
+                    (target.lineno,
+                     f"store target {_short(target)}: {dom.value} "
+                     "(inferred from name)"),
+                ))
+            return UNKNOWN
+        container = self._eval(target.value, env)
+        self._eval_index(target.slice, env)
+        return container
+
+    def _check_return(self, stmt, value: DomainValue) -> None:
+        expected = getattr(self, "_expected_return", None)
+        if expected is None:
+            return
+        returns, conf, qual = expected
+        if isinstance(returns, tuple):
+            parts = value.elements
+            if parts is None or len(parts) != len(returns):
+                return
+            pairs = [
+                (p, d) for p, d in zip(parts, returns) if d is not None
+            ]
+        else:
+            pairs = [(value, returns)]
+        for got, want in pairs:
+            want_value = DomainValue(want, conf, (
+                (stmt.lineno, f"{qual} is declared to return {want.value}"),
+            ))
+            if conflict(got, want_value):
+                self._report(stmt, "return", got, want_value,
+                             f"return from {qual}")
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def _eval(self, node, env) -> DomainValue:
+        if node is None:
+            return UNKNOWN
+        if isinstance(node, ast.Name):
+            return self._lookup(node.id, env, node.lineno)
+        if isinstance(node, ast.Attribute):
+            self._eval(node.value, env)
+            dom = infer_domain(node.attr)
+            if dom is not None:
+                return DomainValue(dom, Confidence.INFERRED, (
+                    (node.lineno,
+                     f"{_short(node)}: {dom.value} (inferred from name)"),
+                ))
+            return UNKNOWN
+        if isinstance(node, ast.Subscript):
+            container = self._eval(node.value, env)
+            self._eval_index(node.slice, env)
+            if container.known:
+                return container.step(
+                    node.lineno,
+                    f"{_short(node)} -> {container.domain.value} (element)",
+                )
+            return UNKNOWN
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left, env)
+            right = self._eval(node.right, env)
+            if isinstance(node.op, _ARITH_OPS):
+                return self._combine_arith(
+                    node, left, right, _OP_TEXT[type(node.op)], env)
+            # *, /, //, %, <<, >>, |, &, ^, **: unit conversions — the
+            # result is a different quantity; make no claim
+            return UNKNOWN
+        if isinstance(node, ast.Compare):
+            operands = [self._eval(node.left, env)]
+            for comparator in node.comparators:
+                operands.append(self._eval(comparator, env))
+            for i, op in enumerate(node.ops):
+                if isinstance(op, _COMPARE_OPS):
+                    self._check_compare(node, operands[i], operands[i + 1])
+            return UNKNOWN
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env)
+            a = self._eval(node.body, env)
+            b = self._eval(node.orelse, env)
+            if conflict(a, b):
+                self._report(node, "selection", a, b,
+                             f"ternary `{_short(node)}`")
+                return UNKNOWN
+            return a if a.known else b
+        if isinstance(node, ast.BoolOp):
+            for v in node.values:
+                self._eval(v, env)
+            return UNKNOWN
+        if isinstance(node, ast.UnaryOp):
+            operand = self._eval(node.operand, env)
+            if isinstance(node.op, (ast.USub, ast.UAdd)):
+                return operand
+            return UNKNOWN
+        if isinstance(node, ast.NamedExpr):
+            value = self._eval(node.value, env)
+            self._assign(node.target, value, env, node)
+            return value
+        if isinstance(node, ast.Tuple):
+            parts = tuple(self._eval(e, env) for e in node.elts)
+            return DomainValue(None, Confidence.INFERRED, (), parts)
+        if isinstance(node, (ast.List, ast.Set)):
+            parts = [self._eval(e, env) for e in node.elts]
+            known = {p.domain for p in parts if p.known}
+            if len(known) == 1 and all(p.known for p in parts) and parts:
+                return parts[0]
+            return UNKNOWN
+        if isinstance(node, ast.Dict):
+            for k, v in zip(node.keys, node.values):
+                if k is not None:
+                    self._eval(k, env)
+                self._eval(v, env)
+            return UNKNOWN
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            child = dict(env)
+            self._eval_generators(node.generators, child)
+            return self._eval(node.elt, child)
+        if isinstance(node, ast.DictComp):
+            child = dict(env)
+            self._eval_generators(node.generators, child)
+            self._eval(node.key, child)
+            self._eval(node.value, child)
+            return UNKNOWN
+        if isinstance(node, ast.Lambda):
+            child = dict(env)
+            for p in (*node.args.posonlyargs, *node.args.args,
+                      *node.args.kwonlyargs):
+                child[p.arg] = UNKNOWN
+            self._eval(node.body, child)
+            return UNKNOWN
+        if isinstance(node, ast.JoinedStr):
+            for v in node.values:
+                if isinstance(v, ast.FormattedValue):
+                    self._eval(v.value, env)
+            return UNKNOWN
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, env)
+        if isinstance(node, ast.Slice):
+            self._eval_index(node, env)
+            return UNKNOWN
+        if isinstance(node, ast.Await):
+            return self._eval(node.value, env)
+        return UNKNOWN
+
+    def _eval_index(self, node, env) -> None:
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self._eval(part, env)
+        elif node is not None:
+            self._eval(node, env)
+
+    def _eval_generators(self, generators, env) -> None:
+        for gen in generators:
+            iter_value = self._eval(gen.iter, env)
+            self._assign(gen.target, self._element_of(iter_value, gen.iter),
+                         env, gen.iter)
+            for cond in gen.ifs:
+                self._eval(cond, env)
+
+    def _lookup(self, name: str, env, line: int) -> DomainValue:
+        bound = env.get(name)
+        if bound is not None and (bound.known or bound.elements is not None):
+            return bound
+        inferred = infer_domain(name)
+        if inferred is not None:
+            return DomainValue(inferred, Confidence.INFERRED, (
+                (line, f"{name!r}: {inferred.value} (inferred from name)"),
+            ))
+        return bound if bound is not None else UNKNOWN
+
+    # ------------------------------------------------------------------
+    # calls
+    # ------------------------------------------------------------------
+    def _eval_call(self, node: ast.Call, env) -> DomainValue:
+        func = node.func
+        name = None
+        receiver = None
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+            receiver = func.value
+        elif isinstance(func, ast.Name):
+            name = func.id
+        arg_nodes = []
+        arg_values = []
+        for arg in node.args:
+            inner = arg.value if isinstance(arg, ast.Starred) else arg
+            arg_nodes.append(inner)
+            arg_values.append(self._eval(inner, env))
+        kw_values = {}
+        for kw in node.keywords:
+            kw_values[kw.arg] = self._eval(kw.value, env)
+
+        sig = signature_for_call(name) if name else None
+        if sig is not None:
+            self._check_call(node, sig, arg_nodes, arg_values, kw_values)
+            return self._call_result(node, sig)
+
+        if receiver is not None and name in _RECEIVER_METHODS:
+            value = self._eval(receiver, env)
+            if value.known:
+                return value.step(
+                    node.lineno,
+                    f"{_short(node)} -> {value.domain.value}",
+                )
+            return UNKNOWN
+        if name in _COMPARE_CALLS:
+            for a, b in zip(arg_values, arg_values[1:]):
+                self._check_compare(node, a, b)
+            result = UNKNOWN
+            for v in arg_values:
+                if v.known:
+                    result = v if not result.known else join(result, v)
+            return result
+        if name == "where" and len(arg_values) == 3:
+            a, b = arg_values[1], arg_values[2]
+            if conflict(a, b):
+                self._report(node, "selection", a, b,
+                             f"np.where `{_short(node)}`")
+                return UNKNOWN
+            return a if a.known else b
+        if name in _PASSTHROUGH and arg_values:
+            return arg_values[0]
+        if name == "divmod":
+            return DomainValue(None, Confidence.INFERRED, (),
+                              (UNKNOWN, UNKNOWN))
+        if name == "enumerate" and arg_values:
+            return DomainValue(None, Confidence.INFERRED, (),
+                              (UNKNOWN, arg_values[0]))
+        if name == "zip" and arg_values:
+            return DomainValue(None, Confidence.INFERRED, (),
+                              tuple(arg_values))
+        if receiver is not None:
+            self._eval(receiver, env)
+        return UNKNOWN
+
+    def _check_call(self, node, sig: Signature, arg_nodes, arg_values,
+                    kw_values) -> None:
+        for i, value in enumerate(arg_values):
+            expected = sig.param_domain(i, None)
+            self._check_argument(node, sig, i, None, value, expected)
+        for key, value in kw_values.items():
+            if key is None:
+                continue
+            expected = sig.param_domain(-1, key)
+            self._check_argument(node, sig, -1, key, value, expected)
+
+    def _check_argument(self, node, sig, index, keyword, value,
+                        expected: Domain | None) -> None:
+        if expected is None or not value.known:
+            return
+        pname = keyword
+        if pname is None and 0 <= index < len(sig.params):
+            pname = sig.params[index][0]
+        want = DomainValue(expected, Confidence.DECLARED, (
+            (node.lineno,
+             f"parameter {pname!r} of {sig.qualname} expects "
+             f"{expected.value} (declared signature)"),
+        ))
+        if conflict(value, want):
+            self._report(node, "argument", value, want,
+                         f"call `{_short(node)}`")
+
+    def _call_result(self, node, sig: Signature) -> DomainValue:
+        returns = sig.returns
+        if returns is None:
+            return UNKNOWN
+        if isinstance(returns, tuple):
+            parts = tuple(
+                DomainValue(d, Confidence.DECLARED, (
+                    (node.lineno,
+                     f"{sig.qualname}(...)[{i}] -> {d.value} (signature)"),
+                )) if d is not None else UNKNOWN
+                for i, d in enumerate(returns)
+            )
+            return DomainValue(None, Confidence.INFERRED, (), parts)
+        return DomainValue(returns, Confidence.DECLARED, (
+            (node.lineno,
+             f"{sig.qualname}(...) -> {returns.value} (signature)"),
+        ))
+
+    # ------------------------------------------------------------------
+    # checks and reporting
+    # ------------------------------------------------------------------
+    def _combine_arith(self, node, left, right, op_text, env) -> DomainValue:
+        if conflict(left, right):
+            self._report(node, "arithmetic", left, right,
+                         f"`{_short(node)}` ({op_text})")
+            return UNKNOWN
+        if left.known:
+            return left
+        if right.known:
+            return right
+        return UNKNOWN
+
+    def _check_compare(self, node, left, right) -> None:
+        if conflict(left, right):
+            self._report(node, "comparison", left, right,
+                         f"`{_short(node)}`")
+
+    def _report(self, node, kind: str, left: DomainValue,
+                right: DomainValue, where: str) -> None:
+        a, b = left.domain, right.domain
+        confidence = min(left.confidence, right.confidence)
+        line = getattr(node, "lineno", 1)
+        final = (
+            line,
+            f"cross-domain {kind} in {where}: {a.value} "
+            f"({left.confidence.label}) mixed with {b.value} "
+            f"({right.confidence.label})",
+        )
+        message = (
+            f"cross-domain {kind}: {a.value} vs {b.value} in {where}; "
+            + conversion_hint(a, b)
+        )
+        self._emit(Confusion(
+            node=node, kind=kind, message=message,
+            trace=_format_trace(left, right, final),
+            confidence=confidence,
+        ))
+
+    def _emit(self, confusion: Confusion) -> None:
+        key = (
+            getattr(confusion.node, "lineno", 0),
+            getattr(confusion.node, "col_offset", 0),
+            confusion.kind,
+            confusion.message,
+        )
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.confusions.append(confusion)
+
+
+class _Anchor:
+    """Positional stand-in for findings without an AST node."""
+
+    def __init__(self, lineno: int, col_offset: int = 0):
+        self.lineno = lineno
+        self.col_offset = col_offset
+
+
+def analyze_module(tree: ast.Module,
+                   annotations: dict[int, Annotation] | None = None
+                   ) -> list[Confusion]:
+    """Run the flow analysis over one parsed module."""
+    return ModuleFlow(tree, annotations).run()

@@ -1,0 +1,145 @@
+"""The semantic-domain lattice the flow analysis computes over.
+
+A *domain* is a unit-of-meaning for an integer value: which clock a
+cycle count belongs to (the refresh time-warp split every count into
+useful vs wall cycles), or which address space an index lives in
+(trace-visible macro page, post-translation machine frame, DRAM row,
+raw byte address, sub-block index within a macro page). Two values of
+different domains compared, added, subtracted, returned, or passed
+where the other is expected is a *domain confusion* — the unit-error
+bug class the runtime oracles can only catch when it happens to
+corrupt a result.
+
+Abstract values (:class:`DomainValue`) carry the domain, a
+*confidence* tier recording how the domain was established (declared
+signature > inline annotation > name inference), and a provenance
+trail that becomes the step-indexed dataflow trace of a finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum, IntEnum
+
+
+class Domain(str, Enum):
+    """The semantic domains tracked by the analyzer."""
+
+    # clock domains (the refresh time-warp, repro.dram.refresh)
+    USEFUL_CYCLES = "useful_cycles"   # refresh windows removed
+    WALL_CYCLES = "wall_cycles"       # global time, windows included
+
+    # address domains (the translation path, repro.address / migration)
+    VIRTUAL_PAGE = "virtual_page"     # trace-visible macro page index
+    MACHINE_FRAME = "machine_frame"   # post-translation machine page / slot
+    DRAM_ROW = "dram_row"             # row index within a bank
+    BYTE_ADDR = "byte_addr"           # raw byte address / in-page offset
+    SUBBLOCK_IDX = "subblock_idx"     # 4 KB sub-block index within a page
+
+
+#: family grouping, used only for wording in findings: mixing *any* two
+#: distinct domains is a confusion, in-family or across
+CLOCK_DOMAINS = frozenset({Domain.USEFUL_CYCLES, Domain.WALL_CYCLES})
+ADDRESS_DOMAINS = frozenset(
+    {
+        Domain.VIRTUAL_PAGE,
+        Domain.MACHINE_FRAME,
+        Domain.DRAM_ROW,
+        Domain.BYTE_ADDR,
+        Domain.SUBBLOCK_IDX,
+    }
+)
+
+#: spelled-out conversion hint per domain pair family
+_CLOCK_HINT = (
+    "convert with RefreshSchedule.useful()/wall() at the boundary"
+)
+_ADDR_HINT = (
+    "convert through AddressMap/TranslationTable "
+    "(page_of/compose/resolve/slot_of)"
+)
+
+
+def conversion_hint(a: Domain, b: Domain) -> str:
+    """How to legally cross from ``a``'s domain to ``b``'s."""
+    if a in CLOCK_DOMAINS and b in CLOCK_DOMAINS:
+        return _CLOCK_HINT
+    if a in ADDRESS_DOMAINS and b in ADDRESS_DOMAINS:
+        return _ADDR_HINT
+    return "clock and address domains never mix"
+
+
+class Confidence(IntEnum):
+    """How the analyzer learned a value's domain (weakest first)."""
+
+    INFERRED = 1    # name-pattern inference
+    ANNOTATED = 2   # inline source annotation (the repro-domain marker)
+    DECLARED = 3    # the signature registry for core APIs
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+#: provenance trail entry: (line number, human-readable description)
+ProvStep = tuple[int, str]
+
+#: keep traces readable: at most this many steps survive per operand
+MAX_STEPS = 8
+
+
+@dataclass(frozen=True)
+class DomainValue:
+    """One abstract value: a domain (or unknown), how sure, and why.
+
+    ``domain is None`` means *unknown* — compatible with everything, the
+    lattice top. ``elements`` carries per-element values for tuples
+    (``on, machine = table.resolve(page)``).
+    """
+
+    domain: Domain | None = None
+    confidence: Confidence = Confidence.INFERRED
+    steps: tuple[ProvStep, ...] = ()
+    elements: tuple["DomainValue", ...] | None = field(
+        default=None, compare=False
+    )
+
+    @property
+    def known(self) -> bool:
+        return self.domain is not None
+
+    def step(self, line: int, description: str) -> "DomainValue":
+        """A copy with one provenance step appended (bounded length)."""
+        steps = (*self.steps, (line, description))[-MAX_STEPS:]
+        return replace(self, steps=steps)
+
+    def describe(self) -> str:
+        if self.domain is None:
+            return "unknown"
+        return f"{self.domain.value} ({self.confidence.label})"
+
+
+#: the unknown value (lattice top)
+UNKNOWN = DomainValue()
+
+
+def join(a: DomainValue, b: DomainValue) -> DomainValue:
+    """Control-flow merge of two values (if/else, ternary, loops).
+
+    Agreeing domains keep the weaker confidence (a finding should never
+    be more confident than its least-confident path); disagreeing or
+    partially-unknown domains merge to unknown — the analysis stays
+    intra-procedural and conservative, never guessing across a branch.
+    """
+    if a.domain is None or b.domain is None:
+        return UNKNOWN
+    if a.domain is b.domain:
+        if b.confidence < a.confidence:
+            return b
+        return a
+    return UNKNOWN
+
+
+def conflict(a: DomainValue, b: DomainValue) -> bool:
+    """True when both sides are known and their domains differ."""
+    return a.known and b.known and a.domain is not b.domain

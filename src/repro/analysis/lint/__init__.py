@@ -10,6 +10,7 @@ from .baseline import DEFAULT_BASELINE_NAME, Baseline
 from .core import RULES, FileContext, Finding, LintRule, Severity, register
 from .engine import LintReport, lint_file, resolve_rules, run_lint
 from . import rules as _rules  # noqa: F401  (import registers the rules)
+from ..domains import rule as _domains_rule  # noqa: F401  (registers domain-confusion)
 
 __all__ = [
     "Baseline",

@@ -43,6 +43,10 @@ class Finding:
     message: str
     line_text: str = ""       # stripped source of the offending line
     occurrence: int = 0       # n-th finding of this rule on identical text
+    #: optional step-indexed dataflow/counterexample trace (one step per
+    #: entry); excluded from the fingerprint so trace wording can evolve
+    #: without churning the committed baseline
+    trace: tuple[str, ...] = ()
 
     @property
     def fingerprint(self) -> str:
@@ -58,13 +62,17 @@ class Finding:
             "col": self.col,
             "message": self.message,
             "fingerprint": self.fingerprint,
+            "trace": list(self.trace),
         }
 
     def format(self) -> str:
-        return (
+        head = (
             f"{self.path}:{self.line}:{self.col + 1}: "
             f"{self.severity.value} [{self.rule}] {self.message}"
         )
+        if not self.trace:
+            return head
+        return head + "\n  trace:\n    " + "\n    ".join(self.trace)
 
 
 @dataclass
@@ -156,7 +164,14 @@ class LintRule(ast.NodeVisitor):
         self.visit(self.ctx.tree)
         return self.findings
 
-    def report(self, node: ast.AST, message: str) -> None:
+    def report(
+        self,
+        node: ast.AST,
+        message: str,
+        *,
+        trace: tuple[str, ...] = (),
+        severity: Severity | None = None,
+    ) -> None:
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
         if self.ctx.suppressed(self.name, line):
@@ -168,13 +183,14 @@ class LintRule(ast.NodeVisitor):
         self.findings.append(
             Finding(
                 rule=self.name,
-                severity=self.severity,
+                severity=severity if severity is not None else self.severity,
                 path=self.ctx.path,
                 line=line,
                 col=col,
                 message=message,
                 line_text=text,
                 occurrence=occurrence,
+                trace=trace,
             )
         )
 

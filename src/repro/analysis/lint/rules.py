@@ -375,6 +375,101 @@ class HotPathCopyRule(LintRule):
 
 
 # ----------------------------------------------------------------------
+# fork-safety
+# ----------------------------------------------------------------------
+_LOCK_CONSTRUCTORS = {
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+    "Event", "Barrier",
+}
+_LOCK_MODULES = {"threading", "multiprocessing", "mp"}
+_RNG_CONSTRUCTORS = {"default_rng", "RandomState", "Generator"}
+
+
+@register
+class ForkSafetyRule(LintRule):
+    """Module-level state that breaks under CampaignSupervisor's fork.
+
+    Campaign workers are forked processes: module globals are duplicated
+    into every child at fork time. Three classes of global are traps —
+
+    * RNG objects (``np.random.default_rng`` / ``RandomState`` /
+      ``random.Random``): every worker inherits the *same* generator
+      state, so "independent" workers draw identical streams;
+    * ``np.memmap`` handles: the children share the parent's file
+      descriptor and mapping, so writes race and offsets interleave;
+    * locks (``threading``/``multiprocessing``): a lock held at fork
+      time is copied in the locked state and deadlocks the child.
+
+    Construct these per-worker (inside the worker function or an
+    initializer) instead of at import time.
+    """
+
+    name = "fork-safety"
+    severity = Severity.WARNING
+    description = (
+        "module-level RNG/memmap/lock state duplicated into forked "
+        "campaign workers"
+    )
+    path_exclude = ("tests/",)
+
+    def __init__(self, ctx: FileContext):
+        super().__init__(ctx)
+        self._function_depth = 0
+
+    def _visit_function(self, node: ast.AST) -> None:
+        self._function_depth += 1
+        self.generic_visit(node)
+        self._function_depth -= 1
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+    visit_Lambda = _visit_function
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._function_depth == 0:
+            dotted = dotted_call_name(node.func)
+            if dotted:
+                self._check(node, dotted)
+        self.generic_visit(node)
+
+    def _check(self, node: ast.Call, dotted: str) -> None:
+        parts = dotted.split(".")
+        head, tail = parts[0], parts[-1]
+        if tail in _LOCK_CONSTRUCTORS and head in _LOCK_MODULES:
+            self.report(
+                node,
+                f"module-level {dotted}(): a lock held at fork time is "
+                "inherited locked and deadlocks campaign workers; create "
+                "it per-worker",
+            )
+        elif tail == "memmap" and head in ("np", "numpy"):
+            self.report(
+                node,
+                f"module-level {dotted}(): forked campaign workers share "
+                "the mapping and file descriptor; open the memmap inside "
+                "the worker",
+            )
+        elif tail == "open_memmap":
+            self.report(
+                node,
+                f"module-level {dotted}(): forked campaign workers share "
+                "the mapping and file descriptor; open the memmap inside "
+                "the worker",
+            )
+        elif (
+            tail in _RNG_CONSTRUCTORS
+            and len(parts) >= 2
+            and parts[-2] == "random"
+        ) or dotted in ("random.Random",):
+            self.report(
+                node,
+                f"module-level {dotted}(): forked campaign workers "
+                "inherit identical RNG state and draw the same stream; "
+                "seed a generator per-worker",
+            )
+
+
+# ----------------------------------------------------------------------
 # broad-except
 # ----------------------------------------------------------------------
 @register

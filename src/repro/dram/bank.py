@@ -52,7 +52,7 @@ class Bank:
             service += self.timing.t_wr
         if self._refresh is not None:
             sched = self._refresh
-            arrival_u = sched.useful(arrival)
+            arrival_u = sched.useful(arrival)  # repro-domain: useful_cycles
             start_u = max(arrival_u, sched.useful(self.ready_time))
             # finite-queue backpressure proxy, on the useful clock
             start_u = min(start_u, arrival_u + self.timing.max_queue_wait)

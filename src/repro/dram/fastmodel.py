@@ -174,7 +174,7 @@ class FastDevice:
             # exactly like the event-driven Bank model. The warp is a
             # pure function of global time, so it commutes with segment
             # boundaries and the fused-exactness contract is unchanged.
-            wall_arrivals = arrivals
+            wall_arrivals = arrivals  # repro-domain: wall_cycles - pre-warp instants
             arrivals = self._refresh.useful_np(arrivals)
         queues, rows = self.geometry.queues_and_rows(addr)
 

@@ -87,7 +87,9 @@ class AdaptiveGranularitySimulator:
             1
             for slot in range(table.n_slots)
             for page in [table.page_in_slot(slot)]
-            if page != EMPTY and page != slot
+            # identity-home test: slot s natively holds page s, so
+            # page != slot means the pair is migrated and must be flushed
+            if page != EMPTY and page != slot  # repro-lint: disable=domain-confusion
         )
         nbytes = 2 * migrated * page_bytes  # each pairing restores 2 copies
         cycles = self.base_config.bus.copy_cycles(nbytes)

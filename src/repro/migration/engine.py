@@ -820,7 +820,8 @@ class MigrationEngine:
             pages.add(empty)  # the ghost page
         for page in (plan.mru, plan.lru):
             if page < self.table.n_slots:
-                partner = self.table.page_in_slot(page)
+                # identity home: a low page id doubles as its home slot id
+                partner = self.table.page_in_slot(page)  # repro-lint: disable=domain-confusion
                 if partner != EMPTY:
                     pages.add(partner)
             slot = self.table.slot_of(page)

@@ -125,15 +125,17 @@ class TranslationTable:
                 self.machine_of[page] = spare
                 self.onpkg[page] = False
             elif self.p_bit[page]:
-                self.machine_of[page] = amap.ghost_page
+                # the ghost page id doubles as a machine frame id
+                self.machine_of[page] = amap.ghost_page  # repro-domain: machine_frame
                 self.onpkg[page] = False
             else:
                 v = int(self.pair[page])
                 if v == EMPTY:
-                    self.machine_of[page] = amap.ghost_page
+                    self.machine_of[page] = amap.ghost_page  # repro-domain: machine_frame
                     self.onpkg[page] = False
                 elif v == page:
-                    self.machine_of[page] = page
+                    # identity home: low pages home in the same-numbered slot
+                    self.machine_of[page] = page  # repro-domain: machine_frame
                     self.onpkg[page] = True
                 else:
                     self.machine_of[page] = v
@@ -141,7 +143,8 @@ class TranslationTable:
         else:
             slot = self._slot_of.get(page)
             if slot is None:
-                self.machine_of[page] = page
+                # un-migrated slow page: machine address == page id
+                self.machine_of[page] = page  # repro-domain: machine_frame
                 self.onpkg[page] = False
             else:
                 self.machine_of[page] = slot
@@ -309,7 +312,8 @@ class TranslationTable:
     def slot_of(self, page: int) -> int | None:
         """The slot currently holding this page's data, if any."""
         if page < self.n_slots:
-            return page if int(self.pair[page]) == page else None
+            # identity home: slot id == page id for un-migrated fast pages
+            return page if int(self.pair[page]) == page else None  # repro-domain: machine_frame
         return self._slot_of.get(page)
 
     def empty_slot(self) -> int | None:
@@ -558,7 +562,9 @@ class TranslationTable:
         for slot in range(n):
             self._sync_page(slot)
             page = int(self.pair[slot])
-            if page != EMPTY and page != slot:
+            # page != slot is the deliberate identity-home test: slot s
+            # natively holds page s, so inequality means "migrated pair"
+            if page != EMPTY and page != slot:  # repro-lint: disable=domain-confusion
                 self._sync_page(page)
         if self._fill_page is not None:
             self._sync_page(self._fill_page)

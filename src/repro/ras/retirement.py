@@ -42,7 +42,9 @@ def retirement_moves(
     occupant = table.page_in_slot(slot)
     if occupant == EMPTY:
         raise MigrationError("cannot retire the empty slot")
-    if occupant == slot:
+    # identity-home test: occupant == slot means the slot still holds its
+    # natively-homed page, so retirement needs only the one spare copy
+    if occupant == slot:  # repro-lint: disable=domain-confusion
         return [
             CopyStep(
                 f"retire frame {slot}: page {slot} -> spare mach {spare}",

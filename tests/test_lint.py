@@ -74,7 +74,8 @@ class TestRules:
             b = np.random.rand(3)
             rng = np.random.default_rng()
             r = random.Random()
-            """
+            """,
+            select=["unseeded-rng"],
         )
         assert rule_names(found) == ["unseeded-rng"]
         assert len(found) == 4
@@ -87,7 +88,8 @@ class TestRules:
             rng = np.random.default_rng(42)
             r = random.Random(7)
             s = np.random.default_rng(seed=0)
-            """
+            """,
+            select=["unseeded-rng"],
         )
 
     def test_float_equality_flagged(self):
@@ -306,6 +308,89 @@ class TestSuppressions:
 # ----------------------------------------------------------------------
 # baseline round-trip + engine behaviour
 # ----------------------------------------------------------------------
+class TestForkSafety:
+    def test_module_level_lock_flagged(self):
+        found = findings_for(
+            """
+            import threading
+            _LOCK = threading.Lock()
+            """,
+            select=["fork-safety"],
+        )
+        assert rule_names(found) == ["fork-safety"]
+        assert "fork" in found[0].message
+
+    def test_module_level_memmap_flagged(self):
+        found = findings_for(
+            """
+            import numpy as np
+            DATA = np.memmap("trace.bin", dtype=np.int64, mode="r")
+            """,
+            select=["fork-safety"],
+        )
+        assert rule_names(found) == ["fork-safety"]
+        assert "memmap" in found[0].message
+
+    def test_module_level_rng_flagged(self):
+        found = findings_for(
+            """
+            import numpy as np
+            RNG = np.random.default_rng(1234)
+            """,
+            select=["fork-safety"],
+        )
+        assert rule_names(found) == ["fork-safety"]
+        assert "RNG" in found[0].message
+
+    def test_class_level_lock_flagged(self):
+        found = findings_for(
+            """
+            import threading
+
+
+            class Worker:
+                lock = threading.RLock()
+            """,
+            select=["fork-safety"],
+        )
+        assert rule_names(found) == ["fork-safety"]
+
+    def test_per_worker_construction_clean(self):
+        found = findings_for(
+            """
+            import threading
+            import numpy as np
+
+
+            def worker_init(path):
+                lock = threading.Lock()
+                rng = np.random.default_rng(7)
+                data = np.memmap(path, dtype=np.int64, mode="r")
+                return lock, rng, data
+            """,
+            select=["fork-safety"],
+        )
+        assert not found
+
+    def test_tests_directory_excluded(self):
+        found = findings_for(
+            "import threading\n_L = threading.Lock()\n",
+            path="tests/test_something.py",
+            select=["fork-safety"],
+        )
+        assert not found
+
+    def test_suppression_honored(self):
+        found = findings_for(
+            """
+            import threading
+            _LOCK = threading.Lock()  # repro-lint: disable=fork-safety
+            """,
+            select=["fork-safety"],
+        )
+        assert not found
+
+
 BAD_SOURCE = "import time\n\n\ndef stamp():\n    return time.time()\n"
 
 
@@ -384,8 +469,10 @@ class TestEngine:
         assert sorted(data["rules"]) == sorted(RULES)
         (finding,) = data["findings"]
         assert set(finding) == {
-            "rule", "severity", "path", "line", "col", "message", "fingerprint",
+            "rule", "severity", "path", "line", "col", "message",
+            "fingerprint", "trace",
         }
+        assert finding["trace"] == []
         assert data["summary"]["new"] == 1
         assert data["summary"]["by_rule"] == {"wall-clock": 1}
 

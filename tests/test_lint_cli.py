@@ -68,6 +68,75 @@ class TestLintCommand:
                     "--baseline", tmp_path / "b.json"]) == 2
 
 
+CONFUSED_SOURCE = (
+    "def latency(sched, arrival):\n"
+    "    arrival_u = sched.useful(arrival)\n"
+    "    start = sched.wall(arrival_u, begin=True)\n"
+    "    return start < arrival_u\n"
+)
+
+
+class TestDomainsCommand:
+    @pytest.fixture
+    def confused_tree(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "simulator"
+        pkg.mkdir(parents=True)
+        (pkg / "confused.py").write_text(CONFUSED_SOURCE)
+        return tmp_path
+
+    def test_confusion_exits_nonzero_with_trace(self, confused_tree, capsys):
+        code = run(["domains", confused_tree, "--root", confused_tree,
+                    "--baseline", confused_tree / "b.json"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "domain-confusion" in out
+        assert "step 0: line" in out  # the dataflow trace is printed
+
+    def test_json_carries_trace(self, confused_tree, capsys):
+        run(["domains", confused_tree, "--root", confused_tree,
+             "--baseline", confused_tree / "b.json", "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert data["rules"] == ["domain-confusion"]
+        (finding,) = data["findings"]
+        assert finding["trace"]
+        assert finding["trace"][0].startswith("step 0: line ")
+
+    def test_only_the_domain_rule_runs(self, tree, capsys):
+        # the wall-clock violation in the shared fixture is invisible
+        assert run(["domains", tree, "--root", tree,
+                    "--baseline", tree / "b.json"]) == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_write_baseline_then_clean(self, confused_tree, capsys):
+        baseline = confused_tree / "b.json"
+        assert run(["domains", confused_tree, "--root", confused_tree,
+                    "--baseline", baseline, "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert run(["domains", confused_tree, "--root", confused_tree,
+                    "--baseline", baseline]) == 0
+
+    def test_repo_tree_is_clean(self, capsys):
+        assert run(["domains", "src", "--root", "."]) == 0
+
+
+class TestUsageErrors:
+    def test_unknown_subcommand_exits_two(self, capsys):
+        assert run(["domans", "src"]) == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_no_subcommand_exits_two(self, capsys):
+        assert run([]) == 2
+        capsys.readouterr()
+
+    def test_unknown_flag_exits_two(self, capsys):
+        assert run(["lint", "--bogus-flag"]) == 2
+        capsys.readouterr()
+
+    def test_help_exits_zero(self, capsys):
+        assert run(["--help"]) == 0
+        assert "repro-lint" in capsys.readouterr().out
+
+
 class TestProtocolCommand:
     def test_variant_n_ok(self, capsys):
         assert run(["protocol", "--variant", "n"]) == 0
