@@ -1,0 +1,94 @@
+"""CI perf-smoke: streaming must keep peak memory O(chunk).
+
+Runs the same 1M-access pgbench simulation twice in clean
+subprocesses — once materialized (``migration_trace`` → ``run``), once
+streamed (``migration_stream`` → ``run_stream``) — and compares
+``ru_maxrss``. Fails when the streamed run's peak RSS is not at least
+``--min-ratio`` (default 2x) below the materialized run's, or when the
+two runs disagree on swap count / access count (the equivalence tests
+pin the numbers; this check pins the memory claim).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+_SNIPPET = """
+import json, resource
+from repro.core.hetero_memory import HeterogeneousMainMemory
+from repro.experiments.common import migration_config, migration_stream, migration_trace
+from repro.trace.stream import aligned_chunk_size
+
+cfg = migration_config(algorithm="live", macro_page_bytes=64 * 1024,
+                       swap_interval=10_000)
+n = {n}
+if {streamed}:
+    chunk = aligned_chunk_size(100_000, cfg.migration.swap_interval)
+    r = HeterogeneousMainMemory(cfg).run_stream(
+        migration_stream("pgbench", n, seed=0, chunk_accesses=chunk))
+else:
+    r = HeterogeneousMainMemory(cfg).run(migration_trace("pgbench", n, seed=0))
+print(json.dumps({{
+    "rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024,
+    "n_accesses": r.n_accesses,
+    "swaps": r.swaps_triggered,
+}}))
+"""
+
+
+def _run(n, streamed):
+    env = dict(os.environ)
+    env.pop("REPRO_TRACE_CACHE", None)  # measure generation, not a memmap
+    proc = subprocess.run(
+        [sys.executable, "-c", _SNIPPET.format(n=n, streamed=streamed)],
+        capture_output=True, text=True, env=env,
+    )
+    if proc.returncode != 0:
+        raise SystemExit(f"subprocess failed:\n{proc.stderr}")
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-n", "--accesses", type=int, default=1_000_000)
+    parser.add_argument("--min-ratio", type=float, default=2.0,
+                        help="required materialized/streamed peak-RSS ratio")
+    args = parser.parse_args(argv)
+
+    mat = _run(args.accesses, streamed=False)
+    stream = _run(args.accesses, streamed=True)
+    ratio = mat["rss_mb"] / stream["rss_mb"]
+    print(f"materialized peak RSS {mat['rss_mb']:7.1f} MB  "
+          f"({mat['n_accesses']} accesses, {mat['swaps']} swaps)")
+    print(f"streamed     peak RSS {stream['rss_mb']:7.1f} MB  "
+          f"({stream['n_accesses']} accesses, {stream['swaps']} swaps)")
+    print(f"ratio {ratio:.2f}x (required >= {args.min_ratio:.2f}x)")
+
+    failures = []
+    if stream["n_accesses"] != mat["n_accesses"]:
+        failures.append("access counts diverged between feedings")
+    # streamed stamping draws per-part RNGs, so copy/boundary timing can
+    # shift a swap across an epoch edge — allow 2% drift, not more
+    if abs(stream["swaps"] - mat["swaps"]) > max(1, mat["swaps"] // 50):
+        failures.append(
+            f"swap counts diverged: materialized {mat['swaps']} "
+            f"vs streamed {stream['swaps']}"
+        )
+    if ratio < args.min_ratio:
+        failures.append(
+            f"streaming saves only {ratio:.2f}x peak RSS "
+            f"(required >= {args.min_ratio:.2f}x) — O(chunk) memory regressed"
+        )
+    if failures:
+        print("\nstreaming-rss check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nstreaming-rss ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

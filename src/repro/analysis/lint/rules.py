@@ -325,7 +325,8 @@ class HotPathCopyRule(LintRule):
     name = "hot-path-copy"
     severity = Severity.WARNING
     description = "array copy (ascontiguousarray / .copy()) inside a hot loop"
-    path_scope = ("repro/core/", "repro/memctrl/", "repro/dram/")
+    path_scope = ("repro/core/", "repro/memctrl/", "repro/dram/",
+                  "repro/trace/", "repro/workloads/")
 
     def __init__(self, ctx: FileContext):
         super().__init__(ctx)

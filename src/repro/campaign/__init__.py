@@ -31,6 +31,12 @@ from .manifest import (
     TaskRecord,
 )
 from .retry import DEFAULT_RETRYABLE, Clock, FakeClock, RetryPolicy
+from .sharded import (
+    ShardedSimulator,
+    merge_results,
+    shard_config,
+    shard_records,
+)
 from .supervisor import (
     SKIPPED,
     CampaignReport,
@@ -55,6 +61,10 @@ __all__ = [
     "RUNNING",
     "RetryPolicy",
     "SKIPPED",
+    "ShardedSimulator",
     "TaskOutcome",
     "TaskRecord",
+    "merge_results",
+    "shard_config",
+    "shard_records",
 ]

@@ -1,0 +1,324 @@
+"""Sharded multi-process simulation: address-space partitioning.
+
+"Near-Memory Address Translation" style partitioning: the macro-page
+space is split round-robin across ``n_shards`` workers (global page
+``p`` belongs to shard ``p % n_shards``), each worker runs a full
+:class:`~repro.core.simulator.EpochSimulator` over a proportionally
+scaled sub-memory (``total_bytes / n_shards`` with
+``onpkg_bytes / n_shards`` on-package — page-interleaving preserves
+region membership exactly), and the per-shard
+:class:`~repro.core.simulator.SimulationResult`\\ s are merged.
+
+Exactness contract
+------------------
+
+* ``n_shards=1`` is **bit-identical** to a plain ``EpochSimulator``
+  run: the page mapping degenerates to the identity and the single
+  task runs inline through the supervisor's serial path.
+* **Shard-local traffic is exact**: every access is simulated in its
+  owning shard with its original timestamp, so each shard's latencies,
+  row-buffer behaviour and migration decisions are exactly those of an
+  ``EpochSimulator`` over that shard's sub-trace and sub-memory.
+* **Cross-shard interleavings are approximate**: the unsharded
+  simulator serializes all traffic through one controller and one
+  migration engine, while shards migrate and queue independently
+  (epoch boundaries fall every ``swap_interval`` accesses *per
+  shard*). The contract is statistical, not bitwise: for a seeded
+  workload the merged averages track the unsharded run (the
+  4-shard-vs-1-shard test pins the tolerance), and the same seed
+  always reproduces the same merged result.
+
+Merge semantics (see :func:`merge_results`)
+-------------------------------------------
+
+* counters (accesses, latency sums, swap/migration/fault counters,
+  fused/stepwise epochs) — summed;
+* row-buffer hit rates — access-weighted means;
+* ``epoch_latency`` — mean of the shard epoch means at each epoch
+  ordinal (shards carry near-equal epoch populations by construction);
+* ``duration_cycles`` — max over shards (trace spans overlap);
+* ``degradation_events`` — tagged ``[shard i]`` and re-sorted by
+  ``(time, epoch)``; ``quarantined`` is the OR over shards.
+
+The worker fan-out reuses :class:`CampaignSupervisor` unchanged, so a
+crashing or hanging shard is killed, classified and retried exactly
+like any campaign task; a shard that exhausts its retries fails the
+whole run (a partial sharded simulation is not a result).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..core.simulator import EpochSimulator, SimulationResult
+from ..errors import CampaignError, SimulationError
+from ..trace.record import TraceChunk
+from .retry import RetryPolicy
+from .supervisor import CampaignSupervisor, CampaignTask
+
+
+def shard_config(config: SystemConfig, n_shards: int) -> SystemConfig:
+    """The per-shard sub-memory: every capacity divided by ``n_shards``,
+    every ratio (and every other knob) preserved."""
+    validate_sharding(config, n_shards)
+    if n_shards == 1:
+        return config
+    return dataclasses.replace(
+        config,
+        total_bytes=config.total_bytes // n_shards,
+        onpkg_bytes=config.onpkg_bytes // n_shards,
+    )
+
+
+def validate_sharding(config: SystemConfig, n_shards: int) -> None:
+    if n_shards < 1:
+        raise CampaignError(f"n_shards must be >= 1, got {n_shards}")
+    amap = config.address_map()
+    if amap.n_total_pages % n_shards or amap.n_onpkg_pages % n_shards:
+        raise CampaignError(
+            f"n_shards={n_shards} must divide both the {amap.n_total_pages} "
+            f"total and the {amap.n_onpkg_pages} on-package macro pages"
+        )
+    if config.ras.enabled or config.disturb.enabled:
+        raise CampaignError(
+            "sharded mode does not support RAS/disturb configurations "
+            "(their reports have no defined merge)"
+        )
+
+
+def shard_records(
+    records: np.ndarray,
+    config: SystemConfig,
+    n_shards: int,
+    shard_index: int,
+) -> np.ndarray:
+    """Extract shard ``shard_index``'s accesses, re-addressed locally.
+
+    Global page ``p`` (owned iff ``p % n_shards == shard_index``)
+    becomes local page ``p // n_shards``; in-page offsets and
+    timestamps are untouched, so shard-local traffic keeps its exact
+    arrival times. Returns a fresh structured array (the mask gather
+    copies; the input is never mutated).
+    """
+    amap = config.address_map()
+    shift = amap.offset_bits
+    pages = records["addr"] >> shift
+    limit = amap.n_total_pages - n_shards
+    if pages.size and int(pages.max()) >= limit and n_shards > 1:
+        # the top page of each shard's sub-space is that shard's ghost
+        # page Ω (the global Ω lands on the last shard's) — data there
+        # cannot be represented in the sharded geometry
+        raise SimulationError(
+            f"trace touches macro page >= {limit}: the top {n_shards} "
+            "pages back the per-shard ghost pages in sharded mode"
+        )
+    if n_shards == 1:
+        return records
+    own = (pages % n_shards) == shard_index
+    sub = records[own]
+    local_pages = (pages[own] // n_shards) << shift
+    sub["addr"] = local_pages | (sub["addr"] & (amap.macro_page_bytes - 1))
+    return sub
+
+
+# ---------------------------------------------------------------------------
+# worker entry points (module-level: they run in supervisor workers)
+# ---------------------------------------------------------------------------
+
+def _simulate_shard_records(
+    config: SystemConfig,
+    n_shards: int,
+    shard_index: int,
+    records: np.ndarray,
+    migrate: bool,
+    fused: bool,
+) -> SimulationResult:
+    sim = EpochSimulator(
+        shard_config(config, n_shards), migrate=migrate, fused=fused
+    )
+    return sim.run(TraceChunk(records, validate=False))
+
+
+def _simulate_shard_stream(
+    config: SystemConfig,
+    n_shards: int,
+    shard_index: int,
+    stream_factory: Callable[[], Iterable[TraceChunk]],
+    migrate: bool,
+    fused: bool,
+) -> SimulationResult:
+    sim = EpochSimulator(
+        shard_config(config, n_shards), migrate=migrate, fused=fused
+    )
+    result = SimulationResult()
+    for chunk in stream_factory():
+        sub = shard_records(chunk.records, config, n_shards, shard_index)
+        if sub.shape[0]:
+            sim.run_into(TraceChunk(sub, validate=False), result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# merge
+# ---------------------------------------------------------------------------
+
+def merge_results(results: Sequence[SimulationResult]) -> SimulationResult:
+    """Merge per-shard results per the module-level semantics."""
+    if not results:
+        raise CampaignError("nothing to merge")
+    if len(results) == 1:
+        return results[0]
+    out = SimulationResult()
+    for r in results:
+        out.n_accesses += r.n_accesses
+        out.total_latency += r.total_latency
+        out.onpkg_accesses += r.onpkg_accesses
+        out.offpkg_accesses += r.offpkg_accesses
+        out.swaps_triggered += r.swaps_triggered
+        out.swaps_suppressed_busy += r.swaps_suppressed_busy
+        out.swaps_suppressed_cold += r.swaps_suppressed_cold
+        out.migrated_bytes += r.migrated_bytes
+        out.cross_boundary_migrated_bytes += r.cross_boundary_migrated_bytes
+        out.fused_epochs += r.fused_epochs
+        out.stepwise_epochs += r.stepwise_epochs
+        out.faults_injected += r.faults_injected
+        out.dram_errors_corrected += r.dram_errors_corrected
+        out.dram_errors_retried += r.dram_errors_retried
+        out.dram_errors_uncorrectable += r.dram_errors_uncorrectable
+        out.data_violations += r.data_violations
+        out.duration_cycles = max(out.duration_cycles, r.duration_cycles)
+        out.quarantined = out.quarantined or r.quarantined
+    # access-weighted row-buffer hit rates
+    on_w = sum(r.onpkg_accesses for r in results)
+    off_w = sum(r.offpkg_accesses for r in results)
+    if on_w:
+        out.onpkg_row_hit_rate = (
+            sum(r.onpkg_row_hit_rate * r.onpkg_accesses for r in results) / on_w
+        )
+    if off_w:
+        out.offpkg_row_hit_rate = (
+            sum(r.offpkg_row_hit_rate * r.offpkg_accesses for r in results)
+            / off_w
+        )
+    # epoch series: mean of the shard means at each epoch ordinal
+    n_epochs = max(len(r.epoch_latency) for r in results)
+    merged_epochs: list[float] = []
+    for i in range(n_epochs):
+        vals = [
+            r.epoch_latency[i] for r in results if i < len(r.epoch_latency)
+        ]
+        merged_epochs.append(float(sum(vals) / len(vals)))
+    out.epoch_latency = merged_epochs
+    # events: tagged with their shard, re-sorted on the global clock
+    events = []
+    for idx, r in enumerate(results):
+        for ev in r.degradation_events:
+            events.append(
+                dataclasses.replace(ev, detail=f"[shard {idx}] {ev.detail}")
+            )
+    out.degradation_events = sorted(events, key=lambda e: (e.time, e.epoch))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the sharded simulator
+# ---------------------------------------------------------------------------
+
+class ShardedSimulator:
+    """Partition the address space across supervisor-managed workers.
+
+    Parameters
+    ----------
+    config:
+        The *global* system; each worker simulates a
+        ``1/n_shards`` slice of it (see :func:`shard_config`).
+    n_shards:
+        Worker count; must divide both page counts. ``1`` runs inline
+        and is bit-identical to a plain :class:`EpochSimulator`.
+    migrate / fused:
+        Forwarded to every shard's :class:`EpochSimulator`.
+    jobs:
+        Concurrent worker processes (default ``n_shards``).
+    supervisor_kwargs:
+        Extra :class:`CampaignSupervisor` arguments (``task_timeout``,
+        ``heartbeat_timeout``, ``mp_context``, ...) for the fan-out.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        n_shards: int,
+        *,
+        migrate: bool = True,
+        fused: bool = True,
+        jobs: int | None = None,
+        **supervisor_kwargs,
+    ):
+        validate_sharding(config, n_shards)
+        self.config = config
+        self.n_shards = n_shards
+        self.migrate = migrate
+        self.fused = fused
+        self.jobs = n_shards if jobs is None else jobs
+        self.supervisor_kwargs = supervisor_kwargs
+
+    def run(self, trace: TraceChunk) -> SimulationResult:
+        """Partition a materialized trace and simulate it in parallel."""
+        tasks = [
+            CampaignTask(
+                task_id=f"shard-{i}",
+                fn=_simulate_shard_records,
+                args=(
+                    self.config, self.n_shards, i,
+                    shard_records(trace.records, self.config, self.n_shards, i),
+                    self.migrate, self.fused,
+                ),
+            )
+            for i in range(self.n_shards)
+        ]
+        return self._run_tasks(tasks)
+
+    def run_stream(
+        self, stream_factory: Callable[[], Iterable[TraceChunk]]
+    ) -> SimulationResult:
+        """Simulate a trace *stream* in parallel with O(chunk) memory.
+
+        ``stream_factory`` must be a picklable zero-argument callable
+        (module-level function or :func:`functools.partial` of one)
+        returning a fresh stream; every worker re-generates the stream
+        and keeps only its own shard's accesses — generation CPU is
+        spent ``n_shards`` times to keep peak memory per process at
+        O(chunk). Shard epoch boundaries follow the per-shard access
+        count, so results depend (deterministically) on the stream's
+        chunking.
+        """
+        tasks = [
+            CampaignTask(
+                task_id=f"shard-{i}",
+                fn=_simulate_shard_stream,
+                args=(
+                    self.config, self.n_shards, i, stream_factory,
+                    self.migrate, self.fused,
+                ),
+            )
+            for i in range(self.n_shards)
+        ]
+        return self._run_tasks(tasks)
+
+    def _run_tasks(self, tasks: list[CampaignTask]) -> SimulationResult:
+        kwargs = dict(self.supervisor_kwargs)
+        kwargs.setdefault("retry", RetryPolicy(max_attempts=2))
+        supervisor = CampaignSupervisor(jobs=min(self.jobs, len(tasks)), **kwargs)
+        report = supervisor.run(tasks)
+        if report.failed:
+            detail = "; ".join(
+                f"{o.task_id}: {o.error}" for o in report.failed
+            )
+            raise CampaignError(f"sharded simulation failed: {detail}")
+        by_id = {o.task_id: o.result for o in report.outcomes}
+        ordered = [by_id[f"shard-{i}"] for i in range(self.n_shards)]
+        return merge_results(ordered)

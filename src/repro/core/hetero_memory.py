@@ -54,6 +54,11 @@ class HeterogeneousMainMemory:
         """Simulate a trace of main-memory accesses."""
         return self.simulator.run(trace)
 
+    def run_stream(self, stream) -> SimulationResult:
+        """Simulate a trace stream with O(chunk) peak memory; see
+        :meth:`EpochSimulator.run_stream`."""
+        return self.simulator.run_stream(stream)
+
     # ------------------------------------------------------------------
     # resilience facade
     # ------------------------------------------------------------------

@@ -59,6 +59,10 @@ class SimulationResult:
     cross_boundary_migrated_bytes: int = 0
     #: per-epoch mean latency series (for convergence plots)
     epoch_latency: list[float] = field(default_factory=list)
+    #: how many epochs ran through each execution path (the fused fast
+    #: path must cover migration-active epochs; see bench_throughput)
+    fused_epochs: int = 0
+    stepwise_epochs: int = 0
     #: row-buffer hit rates observed by each region's device
     onpkg_row_hit_rate: float = 0.0
     offpkg_row_hit_rate: float = 0.0
@@ -202,6 +206,22 @@ class EpochSimulator:
         self.run_into(trace, result)
         return result
 
+    def run_stream(self, stream) -> SimulationResult:
+        """Simulate a trace *stream* (any iterable of time-ordered
+        :class:`TraceChunk`) — peak memory stays O(chunk), never
+        O(trace).
+
+        Epoch segmentation restarts at every chunk boundary, so the
+        result is bit-identical to :meth:`run` on the concatenated trace
+        exactly when every chunk except the last holds a multiple of
+        ``swap_interval`` accesses (chunk boundaries == epoch
+        boundaries); see :mod:`repro.trace.stream`.
+        """
+        result = SimulationResult()
+        for chunk in stream:
+            self.run_into(chunk, result)
+        return result
+
     def _should_fuse(self) -> bool:
         """Whether the fused multi-epoch fast path applies.
 
@@ -275,6 +295,7 @@ class EpochSimulator:
         pages_all = amap.page_of(trace.addr)
         offsets_all = amap.offset_of(trace.addr)
         subblocks_all = offsets_all >> self._sb_shift
+        result.stepwise_epochs += -(-n // interval) if n else 0
         for start in range(0, n, interval):
             stop = min(start + interval, n)
             epoch = trace[start:stop]
@@ -407,6 +428,7 @@ class EpochSimulator:
         interference = self.config.migration.interference_cycles
 
         epoch_starts = np.arange(0, n, interval, dtype=np.int64)
+        result.fused_epochs += int(epoch_starts.shape[0])
         for start in range(0, n, interval):
             stop = min(start + interval, n)
             t0 = int(times_all[start])

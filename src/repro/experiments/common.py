@@ -120,6 +120,40 @@ def migration_trace(
     )
 
 
+def migration_stream(
+    workload: str,
+    n: int,
+    seed: int = 0,
+    onpkg_bytes: int | None = None,
+    *,
+    chunk_accesses: int,
+):
+    """Streamed scaled trace for one migration-study workload.
+
+    Unlike :func:`migration_trace` this never materializes the full
+    trace (and never touches the trace cache): chunks are generated on
+    demand with O(``chunk_accesses`` + phase) memory, for feeding
+    :meth:`repro.core.simulator.EpochSimulator.run_stream` or the
+    sharded runner on very long runs. Pick ``chunk_accesses`` as a
+    multiple of the simulator's ``swap_interval``
+    (:func:`repro.trace.stream.aligned_chunk_size`) so chunk boundaries
+    coincide with epoch boundaries.
+
+    ``SPEC2006`` is a multiprogrammed mixture without a generator-side
+    stream; it falls back to chunk views over the materialized mixture
+    (O(trace) memory, same consumer protocol).
+    """
+    from ..trace.stream import iter_chunks
+    from ..workloads.registry import get_workload
+
+    footprint = scaled_footprint(workload, onpkg_bytes)
+    if workload == "SPEC2006":
+        trace = migration_trace(workload, n, seed, onpkg_bytes)
+        return iter_chunks(trace, chunk_accesses)
+    wl = get_workload(workload, footprint_bytes=footprint)
+    return wl.stream(n, seed, chunk_accesses=chunk_accesses)
+
+
 def default_accesses() -> int:
     return FAST_ACCESSES if fast_mode() else DEFAULT_ACCESSES
 

@@ -93,19 +93,26 @@ class HeterogeneousController:
         into preallocated whole-flush scratch buffers. ``subblocks`` may
         be ``None`` when ``active`` carries no fill in flight.
         """
-        on, machine = table.resolve_many(pages)
-        on_out[...] = on
-        machine_out[...] = machine
+        if pages.size and pages.min() < 0:
+            table.resolve_many(pages)  # raises the domain-specific error
+        try:
+            # single-pass gathers straight into the caller's buffers;
+            # upper bounds are still checked (mode='raise'), but the
+            # temporary copies of resolve_many are skipped on this
+            # per-epoch hot path (np.take would *wrap* negative pages,
+            # hence the explicit check above)
+            np.take(table.onpkg, pages, out=on_out)
+            np.take(table.machine_of, pages, out=machine_out)
+        except IndexError:
+            table.resolve_many(pages)  # raises the domain-specific error
+            raise
         if active is None:
             return
 
-        for page, timeline in active.timelines.items():
+        for page, (change_times, ons, machines) in active.timeline_arrays().items():
             mask = pages == page
             if not mask.any():
                 continue
-            change_times = np.array([t for t, _, _ in timeline], dtype=np.int64)
-            ons = np.array([o for _, o, _ in timeline], dtype=bool)
-            machines = np.array([m for _, _, m in timeline], dtype=np.int64)
             idx = np.searchsorted(change_times, times[mask], side="right") - 1
             on_out[mask] = ons[idx]
             machine_out[mask] = machines[idx]

@@ -55,6 +55,10 @@ from .policies import EpochMonitor
 from .recovery import recovery_plan
 from .table import EMPTY, TranslationTable
 
+#: largest page space for which the epoch fold uses dense (bincount)
+#: aggregation; bigger configurations keep the sort-based np.unique pass
+_DENSE_FOLD_PAGES = 1 << 16
+
 
 @dataclass(frozen=True)
 class FillInfo:
@@ -97,6 +101,11 @@ class ActiveMigration:
     #: frame retirement: the table already holds the final state (no
     #: timelines), but execution stalls while the copies drain
     recovery: bool = False
+    #: lazy array form of the timelines (built on first resolution; the
+    #: timelines are final once the plan walk that built them returns)
+    _timeline_arrays: dict | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def stall(self) -> bool:
@@ -104,6 +113,22 @@ class ActiveMigration:
 
     def in_flight(self, now: int) -> bool:
         return now < self.end
+
+    def timeline_arrays(self) -> dict:
+        """``page -> (change_times, on_package, machine_page)`` parallel
+        arrays — the fused loop resolves against the same timelines every
+        epoch of the swap window, so the conversion is done once."""
+        cache = self._timeline_arrays
+        if cache is None:
+            cache = self._timeline_arrays = {
+                page: (
+                    np.array([t for t, _, _ in tl], dtype=np.int64),
+                    np.array([o for _, o, _ in tl], dtype=bool),
+                    np.array([m for _, _, m in tl], dtype=np.int64),
+                )
+                for page, tl in self.timelines.items()
+            }
+        return cache
 
 
 @dataclass(frozen=True)
@@ -182,6 +207,9 @@ class MigrationEngine:
         # arrays (one np.unique pass per epoch, no per-epoch dict build)
         self._last_sb_pages: np.ndarray | None = None
         self._last_sb_vals: np.ndarray | None = None
+        # dense per-page scratch for the epoch fold (small page spaces
+        # only; values are always written before they are read)
+        self._fold_scratch: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     def observe_epoch(
@@ -195,19 +223,45 @@ class MigrationEngine:
         """Feed one epoch's accesses to the recency/frequency trackers."""
         off = np.asarray(offpkg_pages, dtype=np.int64)
         if off.size:
-            # one unique pass shared between the monitor's frequency
-            # aggregation and the critical-block recency bookkeeping
-            pages, inverse, counts = np.unique(
-                off, return_inverse=True, return_counts=True
+            off_times = np.asarray(off_times, dtype=np.int64)
+            n_total = self.amap.n_total_pages
+            # dense fold for small page spaces: np.flatnonzero of the
+            # count vector is exactly np.unique's sorted page list, and
+            # with non-decreasing epoch times the *last* write per page
+            # is the per-page maximum that np.maximum.at computes —
+            # both checked, so the sorting fallback stays bit-identical
+            dense = n_total <= _DENSE_FOLD_PAGES and bool(
+                (off_times[1:] >= off_times[:-1]).all()
             )
-            last = np.zeros(pages.shape[0], dtype=np.int64)
-            np.maximum.at(last, inverse, np.asarray(off_times, dtype=np.int64))
+            if dense:
+                counts_dense = np.bincount(off, minlength=n_total)
+                pages = np.flatnonzero(counts_dense)
+                counts = counts_dense[pages]
+                scratch = self._fold_scratch
+                if scratch is None or scratch.shape[0] != n_total:
+                    scratch = self._fold_scratch = np.zeros(
+                        n_total, dtype=np.int64
+                    )
+                scratch[off] = off_times
+                last = scratch[pages]
+            else:
+                # one unique pass shared between the monitor's frequency
+                # aggregation and the critical-block recency bookkeeping
+                pages, inverse, counts = np.unique(
+                    off, return_inverse=True, return_counts=True
+                )
+                last = np.zeros(pages.shape[0], dtype=np.int64)
+                np.maximum.at(last, inverse, off_times)
             self.monitor.fold_epoch(slots, slot_times, pages, counts, last)
             if off_subblocks is not None:
-                last_idx = np.zeros(pages.shape[0], dtype=np.int64)
-                last_idx[inverse] = np.arange(off.shape[0])
                 self._last_sb_pages = pages
-                self._last_sb_vals = np.asarray(off_subblocks)[last_idx]
+                if dense:
+                    scratch[off] = np.arange(off.shape[0], dtype=np.int64)
+                    self._last_sb_vals = np.asarray(off_subblocks)[scratch[pages]]
+                else:
+                    last_idx = np.zeros(pages.shape[0], dtype=np.int64)
+                    last_idx[inverse] = np.arange(off.shape[0])
+                    self._last_sb_vals = np.asarray(off_subblocks)[last_idx]
             else:
                 self._last_sb_pages = None
                 self._last_sb_vals = None
@@ -417,7 +471,7 @@ class MigrationEngine:
             return SwapDecision(False, f"hottest page {mru_page} already on-package")
 
         empty = self.table.empty_slot()
-        exclude = set(np.flatnonzero(self.table.retired).tolist())
+        exclude = set(self.table.retired_slots())
         if empty is not None:
             exclude.add(empty)
         if len(exclude) >= self.table.n_slots:

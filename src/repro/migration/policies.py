@@ -100,9 +100,17 @@ class EpochMonitor:
         between the monitor and its own recency bookkeeping."""
         slots = np.asarray(slots, dtype=np.int64)
         if slots.size:
-            # last touch per slot: maximum time per slot id
-            np.maximum.at(self.slot_last_touch, slots, np.asarray(slot_times, dtype=np.int64))
-            np.add.at(self.slot_epoch_counts, slots, 1)
+            st = np.asarray(slot_times, dtype=np.int64)
+            if bool((st[1:] >= st[:-1]).all()):
+                # non-decreasing epoch times: a gather-max scatter's
+                # last write per slot IS the per-slot maximum
+                self.slot_last_touch[slots] = np.maximum(
+                    self.slot_last_touch[slots], st
+                )
+            else:
+                # last touch per slot: maximum time per slot id
+                np.maximum.at(self.slot_last_touch, slots, st)
+            self.slot_epoch_counts += np.bincount(slots, minlength=self.n_slots)
         self._off_pages = off_pages
         self._off_counts = off_counts
         self._off_last = off_last

@@ -96,6 +96,14 @@ class TranslationTable:
         #: CAM direction: page -> slot, for pages currently in a slot
         self._slot_of: dict[int, int] = {p: p for p in range(n)}
 
+        # epoch-boundary lookup caches (invalidated on any pair/retired
+        # mutation): the free slot and the retired-slot set are asked for
+        # every epoch but change only when a swap commits or a frame
+        # retires
+        self._empty_cache: int | None = None
+        self._empty_cache_valid = False
+        self._retired_cache: frozenset[int] | None = None
+
         # dense mirrors for vectorised resolution
         total = amap.n_total_pages
         self.machine_of = np.arange(total, dtype=np.int64)
@@ -163,6 +171,7 @@ class TranslationTable:
         self.pair[slot] = page
         if page != EMPTY:
             self._slot_of[page] = slot
+        self._empty_cache_valid = False
 
     def set_pair(self, slot: int, page: int) -> None:
         """Write the right column of ``slot`` to ``page`` (table update)."""
@@ -322,8 +331,18 @@ class TranslationTable:
         Retired slots also carry an EMPTY right column but are out of
         service for good, so they never count as the free slot.
         """
-        empties = np.flatnonzero((self.pair == EMPTY) & ~self.retired)
-        return int(empties[0]) if empties.size else None
+        if not self._empty_cache_valid:
+            empties = np.flatnonzero((self.pair == EMPTY) & ~self.retired)
+            self._empty_cache = int(empties[0]) if empties.size else None
+            self._empty_cache_valid = True
+        return self._empty_cache
+
+    def retired_slots(self) -> frozenset[int]:
+        """The set of permanently retired slot ids (cached: retirement is
+        rare, but the swap trigger excludes these every epoch)."""
+        if self._retired_cache is None:
+            self._retired_cache = frozenset(np.flatnonzero(self.retired).tolist())
+        return self._retired_cache
 
     def page_in_slot(self, slot: int) -> int:
         self._check_slot(slot)
@@ -385,6 +404,8 @@ class TranslationTable:
         self._set_cam(slot, EMPTY)
         self.retired[slot] = True
         self.remap[slot] = int(spare)
+        self._empty_cache_valid = False
+        self._retired_cache = None
         for p in sorted({slot, occupant}):
             self._sync_page(p)
         return occupant
@@ -433,6 +454,8 @@ class TranslationTable:
             else np.zeros(self.n_slots, dtype=bool)
         )
         self.remap = dict(state.get("remap", {}))
+        self._empty_cache_valid = False
+        self._retired_cache = None
 
     def reset_identity(self) -> int:
         """Roll back to the boot-time identity mapping (quarantine path).
@@ -447,6 +470,8 @@ class TranslationTable:
         home[self.retired] = EMPTY  # retired frames stay out of service
         displaced = int((self.pair != home).sum())
         self.pair = home.copy()
+        self._empty_cache_valid = False
+        self._retired_cache = None
         self.p_bit[:] = False
         self.f_bit[:] = False
         self.fill_bitmap[:] = False

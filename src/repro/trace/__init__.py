@@ -12,8 +12,20 @@ from .record import TRACE_DTYPE, READ, WRITE, TraceChunk, make_chunk
 from .io import TraceReader, TraceWriter, read_trace, write_trace
 from .stats import TraceStats, compute_stats, footprint_bytes
 from .filters import concat, downsample, interleave, time_window
+from .stream import (
+    TraceStream,
+    aligned_chunk_size,
+    iter_chunks,
+    materialize,
+    rechunk,
+)
 
 __all__ = [
+    "TraceStream",
+    "aligned_chunk_size",
+    "iter_chunks",
+    "materialize",
+    "rechunk",
     "TRACE_DTYPE",
     "READ",
     "WRITE",

@@ -71,7 +71,9 @@ def interleave(
 
     parts = []
     for chunk, cpu, off in zip(chunks, cpu_ids, offsets):
-        rec = chunk.records.copy()
+        # detach before stamping cpu/addr — the caller's chunk must
+        # survive unmodified
+        rec = chunk.records.copy()  # repro-lint: disable=hot-path-copy
         rec["cpu"] = cpu
         rec["addr"] += off
         parts.append(rec)

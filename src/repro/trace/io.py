@@ -157,7 +157,9 @@ class TraceReader:
                         f"{self._path}: short read at byte "
                         f"{fh.tell() - len(raw)} (file changed under us?)"
                     )
-                records = np.frombuffer(raw, dtype=TRACE_DTYPE).copy()
+                # frombuffer views are read-only and pin `raw`; the copy
+                # detaches a writable chunk and frees the raw bytes
+                records = np.frombuffer(raw, dtype=TRACE_DTYPE).copy()  # repro-lint: disable=hot-path-copy
                 yield TraceChunk(records, validate=False)
                 remaining -= n
 

@@ -1,0 +1,95 @@
+"""Streaming trace protocol: epoch-aligned chunk iterators.
+
+A *trace stream* is any iterable of :class:`TraceChunk` whose chunks,
+concatenated in order, form one valid time-ordered trace. Feeding a
+stream to :meth:`repro.core.simulator.EpochSimulator.run_stream` keeps
+peak memory at O(chunk) instead of O(trace) — the simulator's epoch
+segmentation restarts at every chunk boundary, so a stream reproduces
+the whole-trace run exactly **iff every chunk (except the last) holds a
+multiple of ``swap_interval`` accesses** (chunk boundaries then coincide
+with epoch boundaries). :func:`aligned_chunk_size` picks such a size;
+:func:`rechunk` re-windows an arbitrary stream onto one.
+
+The generator side of the protocol is
+:meth:`repro.workloads.base.SyntheticWorkload.stream`, which produces
+chunks directly without ever materializing the full trace.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import TraceError
+from .record import TRACE_DTYPE, TraceChunk
+
+#: protocol alias — anything that yields TraceChunks in time order
+TraceStream = Iterable[TraceChunk]
+
+
+def aligned_chunk_size(chunk_accesses: int, swap_interval: int) -> int:
+    """Round ``chunk_accesses`` up to a whole number of epochs."""
+    if chunk_accesses <= 0 or swap_interval <= 0:
+        raise TraceError("chunk_accesses and swap_interval must be positive")
+    epochs = -(-chunk_accesses // swap_interval)
+    return epochs * swap_interval
+
+
+def iter_chunks(trace: TraceChunk, chunk_accesses: int) -> Iterator[TraceChunk]:
+    """Zero-copy chunk views over an already materialized trace.
+
+    Each yielded chunk is a slice *view* (the :class:`TraceChunk`
+    aliasing contract), so this adapter adds no memory beyond the
+    trace itself — it exists to feed materialized traces through the
+    same streaming entry points.
+    """
+    if chunk_accesses <= 0:
+        raise TraceError("chunk_accesses must be positive")
+    n = len(trace)
+    for start in range(0, n, chunk_accesses):
+        yield trace[start:min(start + chunk_accesses, n)]
+
+
+def rechunk(stream: TraceStream, chunk_accesses: int) -> Iterator[TraceChunk]:
+    """Re-window a stream onto exactly ``chunk_accesses``-sized chunks.
+
+    Buffers at most one source chunk plus one output chunk, so memory
+    stays O(max chunk). The access sequence is unchanged — only the
+    window boundaries move (use with :func:`aligned_chunk_size` to make
+    an arbitrary stream epoch-aligned).
+    """
+    if chunk_accesses <= 0:
+        raise TraceError("chunk_accesses must be positive")
+    pending: list[np.ndarray] = []
+    buffered = 0
+    for chunk in stream:
+        records = chunk.records
+        while records.shape[0]:
+            take = min(chunk_accesses - buffered, records.shape[0])
+            pending.append(records[:take])
+            buffered += take
+            records = records[take:]
+            if buffered == chunk_accesses:
+                # single-part windows stay zero-copy views (slices of a
+                # structured array are contiguous); multi-part windows
+                # are freshly concatenated, hence already contiguous
+                out = pending[0] if len(pending) == 1 else np.concatenate(pending)
+                yield TraceChunk(out, validate=False)
+                pending = []
+                buffered = 0
+    if buffered:
+        out = pending[0] if len(pending) == 1 else np.concatenate(pending)
+        yield TraceChunk(out, validate=False)
+
+
+def materialize(stream: TraceStream) -> TraceChunk:
+    """Concatenate a whole stream into one :class:`TraceChunk`.
+
+    O(trace) memory by definition — for tests and for consumers that
+    genuinely need random access (the streaming-equivalence oracle).
+    """
+    parts = [chunk.records for chunk in stream]
+    if not parts:
+        return TraceChunk(np.empty(0, dtype=TRACE_DTYPE), validate=False)
+    return TraceChunk(np.concatenate(parts), validate=False)

@@ -139,18 +139,12 @@ class SyntheticWorkload:
             raise WorkloadError("footprint too small")
         return replace(self, footprint_bytes=footprint_bytes)
 
-    def generate(self, n: int, seed: int = 0, *, start_time: int = 0) -> TraceChunk:
-        """Produce ``n`` accesses as a validated :class:`TraceChunk`."""
-        if n < 0:
-            raise WorkloadError("n must be non-negative")
-        # zlib.crc32 is stable across processes (str hash() is salted)
-        rng = np.random.default_rng(zlib.crc32(self.name.encode()) ^ seed)
-        perm = g.make_hot_permutation(self.footprint_bytes, rng)
-
+    def _part_sizes(self, n: int):
+        """The deterministic phase-part decomposition of an ``n``-access
+        run — shared by :meth:`generate` and :meth:`stream` so both walk
+        the phase cycle (and drift the hot set) identically."""
         weights = np.array([p.weight for p in self.phases], dtype=float)
         weights /= weights.sum()
-
-        parts: list[np.ndarray] = []
         produced = 0
         phase_i = 0
         while produced < n:
@@ -159,11 +153,23 @@ class SyntheticWorkload:
             # phases share the cycle proportionally to weight
             k = max(1, int(round(k * weights[phase_i % len(self.phases)] * len(self.phases))))
             k = min(k, n - produced)
-            parts.append(phase.pattern.generate(k, self.footprint_bytes, rng, perm))
+            yield phase, k
             produced += k
+            phase_i += 1
+
+    def generate(self, n: int, seed: int = 0, *, start_time: int = 0) -> TraceChunk:
+        """Produce ``n`` accesses as a validated :class:`TraceChunk`."""
+        if n < 0:
+            raise WorkloadError("n must be non-negative")
+        # zlib.crc32 is stable across processes (str hash() is salted)
+        rng = np.random.default_rng(zlib.crc32(self.name.encode()) ^ seed)
+        perm = g.make_hot_permutation(self.footprint_bytes, rng)
+
+        parts: list[np.ndarray] = []
+        for phase, k in self._part_sizes(n):
+            parts.append(phase.pattern.generate(k, self.footprint_bytes, rng, perm))
             if phase.drift > 0:
                 perm = rotate_permutation(perm, phase.drift, rng)
-            phase_i += 1
 
         addr = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
         # bursty arrivals: post-LLC miss streams come in clusters (MLP,
@@ -185,3 +191,90 @@ class SyntheticWorkload:
         cpu = (np.arange(n, dtype=np.int64) + rng.integers(0, self.n_cpus, size=n)) % self.n_cpus
         rw = np.where(rng.random(n) < self.write_fraction, WRITE, READ)
         return make_chunk(addr, time=time, cpu=cpu.astype(np.int16), rw=rw.astype(np.int8))
+
+    def _long_gap_mean(self) -> float:
+        return max(
+            1.0,
+            (self.cycles_per_access - self.burst_fraction * self.burst_gap)
+            / max(1e-9, 1.0 - self.burst_fraction),
+        )
+
+    def _stamp_part(
+        self,
+        addr: np.ndarray,
+        part_index: int,
+        offset: int,
+        t_start: int,
+        base_seed: int,
+    ) -> TraceChunk:
+        """Stamp one phase part with times/cpus/rw from a part-derived RNG."""
+        k = addr.shape[0]
+        srng = np.random.default_rng((base_seed, part_index))
+        in_burst = srng.random(k) < self.burst_fraction
+        gaps = np.where(
+            in_burst,
+            srng.geometric(1.0 / self.burst_gap, size=k),
+            srng.geometric(1.0 / self._long_gap_mean(), size=k),
+        ).astype(np.int64)
+        time = t_start + np.cumsum(gaps)
+        cpu = (
+            np.arange(offset, offset + k, dtype=np.int64)
+            + srng.integers(0, self.n_cpus, size=k)
+        ) % self.n_cpus
+        rw = np.where(srng.random(k) < self.write_fraction, WRITE, READ)
+        return make_chunk(
+            addr, time=time, cpu=cpu.astype(np.int16), rw=rw.astype(np.int8),
+            validate=False,
+        )
+
+    def stream(
+        self,
+        n: int,
+        seed: int = 0,
+        *,
+        chunk_accesses: int | None = None,
+        start_time: int = 0,
+    ):
+        """Yield ``n`` accesses as :class:`TraceChunk` windows without
+        ever materializing the full trace (peak memory is
+        O(``chunk_accesses`` + ``phase_len``), independent of ``n``).
+
+        The *address* sequence is bit-identical to :meth:`generate`
+        (same address RNG, same phase-part walk, same hot-set drift).
+        The time/cpu/rw stamps come from per-part derived RNGs instead
+        of the tail of the shared stream — :meth:`generate` draws its
+        stamping arrays for the whole trace *after* all addresses, which
+        would force O(n) memory — so stamps differ from :meth:`generate`
+        but are **chunk-size invariant**: the yielded content depends
+        only on ``(n, seed, start_time)``, never on ``chunk_accesses``.
+
+        ``chunk_accesses`` should be a multiple of the simulator's
+        ``swap_interval`` (see :func:`repro.trace.stream.aligned_chunk_size`)
+        so chunk boundaries coincide with epoch boundaries; ``None``
+        yields natural phase-part-sized chunks.
+        """
+        from ..trace.stream import rechunk
+
+        if n < 0:
+            raise WorkloadError("n must be non-negative")
+
+        def parts():
+            base_seed = zlib.crc32(self.name.encode()) ^ seed
+            rng = np.random.default_rng(base_seed)
+            perm = g.make_hot_permutation(self.footprint_bytes, rng)
+            offset = 0
+            t_cursor = start_time
+            for part_index, (phase, k) in enumerate(self._part_sizes(n)):
+                addr = phase.pattern.generate(k, self.footprint_bytes, rng, perm)
+                if phase.drift > 0:
+                    perm = rotate_permutation(perm, phase.drift, rng)
+                chunk = self._stamp_part(
+                    addr, part_index, offset, t_cursor, base_seed
+                )
+                offset += k
+                t_cursor = int(chunk.time[-1])
+                yield chunk
+
+        if chunk_accesses is None:
+            return parts()
+        return rechunk(parts(), chunk_accesses)

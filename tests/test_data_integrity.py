@@ -149,6 +149,11 @@ class TestCleanDifferential:
         _, tracked = run_tracked(config("live"), trace)
         a, b = dataclasses.asdict(plain), dataclasses.asdict(tracked)
         a.pop("data_violations"), b.pop("data_violations")
+        # track_data forces the stepwise loop, so the loop-coverage
+        # counters legitimately differ — but they must partition the
+        # same epoch count
+        assert a.pop("fused_epochs") == b.pop("stepwise_epochs")
+        assert b.pop("fused_epochs") == a.pop("stepwise_epochs") == 0
         assert a == b
 
     def test_track_data_disables_the_fused_loop(self):

@@ -50,16 +50,22 @@ def _cfg(**migration_kwargs):
 
 
 def _scalar_fields(result):
+    # fused_epochs/stepwise_epochs say which loop ran, not what was
+    # simulated — they are asserted separately in assert_identical
     return {
         f.name: getattr(result, f.name)
         for f in dataclasses.fields(result)
-        if f.name not in ("epoch_latency", "degradation_events")
+        if f.name not in ("epoch_latency", "degradation_events",
+                          "fused_epochs", "stepwise_epochs")
     }
 
 
-def assert_identical(cfg, trace, *, migrate=True, chunks=1):
+def assert_identical(cfg, trace, *, migrate=True, chunks=1, arm=None):
     fused = HeterogeneousMainMemory(cfg, migrate=migrate, fused=True)
     plain = HeterogeneousMainMemory(cfg, migrate=migrate, fused=False)
+    if arm is not None:
+        arm(fused)
+        arm(plain)
     if chunks == 1:
         r_fused = fused.run(trace)
         r_plain = plain.run(trace)
@@ -72,6 +78,12 @@ def assert_identical(cfg, trace, *, migrate=True, chunks=1):
             plain.simulator.run_into(trace[lo:hi], r_plain)
     assert _scalar_fields(r_fused) == _scalar_fields(r_plain)
     assert r_fused.epoch_latency == r_plain.epoch_latency
+    # coverage: the fused simulator must never fall back to the
+    # stepwise loop (migration-active epochs included), and the two
+    # counters must partition the same epoch count
+    assert r_fused.stepwise_epochs == 0
+    assert r_plain.fused_epochs == 0
+    assert r_fused.fused_epochs == r_plain.stepwise_epochs
     return r_fused
 
 
@@ -123,6 +135,59 @@ class TestVariants:
         cfg = _cfg()
         assert_identical(cfg, make_chunk([]))
         assert_identical(cfg, make_chunk([0, 4096, 8192]))
+
+
+class TestMigrationActive:
+    """Epochs with an active SwapPlan must run through the fused path.
+
+    The matrix crosses the three paper algorithms with write traffic,
+    OS-assisted translation, a one-shot abort mid-plan, and refresh on
+    both tiers. Every cell goes through :func:`assert_identical`, which
+    pins bit-identical ``epoch_latency`` *and* ``stepwise_epochs == 0``
+    on the fused run — a regression that sends migration-active epochs
+    back to the stepwise fallback fails here, not just in the
+    throughput numbers.
+    """
+
+    VARIANTS = ("writes", "os-assisted", "abort", "refresh")
+
+    def _cell(self, algorithm, variant):
+        cfg = _cfg(algorithm=algorithm)
+        if variant == "os-assisted":
+            cfg = _cfg(algorithm=algorithm, macro_page_bytes=16 * KB,
+                       hw_min_page_bytes=1 * MB)
+        elif variant == "refresh":
+            cfg = dataclasses.replace(
+                cfg,
+                offpkg_dram=offpkg_dram_timing(refresh=True),
+                onpkg_dram=onpkg_dram_timing(refresh=True),
+            )
+        arm = None
+        if variant == "abort":
+            arm = lambda mem: mem.engine.inject_abort(1)
+        return cfg, _trace(writes=variant == "writes"), arm
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_matrix(self, algorithm, variant):
+        cfg, trace, arm = self._cell(algorithm, variant)
+        r = assert_identical(cfg, trace, arm=arm)
+        assert r.swaps_triggered > 0
+        assert r.data_violations == 0
+        if variant != "os-assisted":
+            # plans span epoch boundaries (a later trigger found the
+            # previous one still in flight): the fused path simulated
+            # epochs with P/F bits live, not just plan-free epochs
+            assert r.swaps_suppressed_busy > 0
+
+    def test_abort_changes_behavior(self):
+        # guard: the armed abort genuinely takes a different path
+        cfg = _cfg()
+        clean = HeterogeneousMainMemory(cfg).run(_trace())
+        aborted_mem = HeterogeneousMainMemory(cfg)
+        aborted_mem.engine.inject_abort(1)
+        aborted = aborted_mem.run(_trace())
+        assert aborted.total_latency != clean.total_latency
 
 
 class TestRefresh:

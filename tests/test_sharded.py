@@ -1,0 +1,216 @@
+"""ShardedSimulator: partitioning, merge semantics and equivalence.
+
+Pins the contract from ``repro.campaign.sharded``:
+
+* ``n_shards=1`` is bit-identical to a plain simulator run;
+* ``shard_records`` partitions without loss and re-addresses
+  page-interleaved traffic into each shard's local space;
+* geometry/feature constraints are rejected up front;
+* a 4-shard run tracks the unsharded run statistically (seeded
+  tolerance) and is deterministic for a fixed seed;
+* ``merge_results`` implements the documented semantics exactly.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.campaign.sharded import (
+    ShardedSimulator,
+    merge_results,
+    shard_config,
+    shard_records,
+    validate_sharding,
+)
+from repro.config import MigrationConfig, RASConfig, SystemConfig
+from repro.core.hetero_memory import HeterogeneousMainMemory
+from repro.core.simulator import SimulationResult
+from repro.errors import CampaignError, SimulationError
+from repro.resilience.degradation import DegradationEvent
+from repro.trace.record import make_chunk
+from repro.trace.stream import iter_chunks
+from repro.units import KB, MB
+
+SUP = dict(poll_interval=0.005)
+
+
+def _cfg():
+    return SystemConfig(
+        total_bytes=64 * MB,
+        onpkg_bytes=8 * MB,
+        migration=MigrationConfig(
+            algorithm="live", macro_page_bytes=64 * KB, swap_interval=1_000
+        ),
+    )
+
+
+def _trace(n=40_000, seed=0, reserve_pages=8):
+    # folded away from the top macro pages: they back the per-shard
+    # ghost pages (see shard_records)
+    rng = np.random.default_rng(seed)
+    span = (64 * MB - reserve_pages * 64 * KB) // 4096
+    hot = rng.integers(0, span)
+    blocks = np.where(
+        rng.random(n) < 0.8,
+        (hot + rng.integers(0, 512, n)) % span,
+        rng.integers(0, span, n),
+    )
+    return make_chunk(blocks * 4096, time=np.cumsum(rng.integers(1, 80, n)))
+
+
+def _stream_factory():
+    return iter_chunks(_trace(20_000), 4_000)
+
+
+class TestPartitioning:
+    def test_shard_config_scales_capacities(self):
+        cfg = shard_config(_cfg(), 4)
+        assert cfg.total_bytes == 16 * MB
+        assert cfg.onpkg_bytes == 2 * MB
+        amap_full = _cfg().address_map()
+        amap_shard = cfg.address_map()
+        assert amap_shard.n_total_pages * 4 == amap_full.n_total_pages
+        assert amap_shard.n_onpkg_pages * 4 == amap_full.n_onpkg_pages
+
+    def test_shard_records_partitions_without_loss(self):
+        cfg = _cfg()
+        trace = _trace()
+        shards = [shard_records(trace.records, cfg, 4, i) for i in range(4)]
+        assert sum(s.shape[0] for s in shards) == len(trace)
+        amap = cfg.address_map()
+        shift = amap.offset_bits
+        global_pages = np.sort(trace.records["addr"] >> shift)
+        # reconstruct: local page p' of shard i <- global page p'*4 + i
+        rebuilt = np.sort(np.concatenate([
+            ((s["addr"] >> shift) * 4 + i) for i, s in enumerate(shards)
+        ]))
+        assert np.array_equal(rebuilt, global_pages)
+        # offsets and times survive re-addressing
+        for i, s in enumerate(shards):
+            own = (trace.records["addr"] >> shift) % 4 == i
+            assert np.array_equal(s["time"], trace.records["time"][own])
+            assert np.array_equal(
+                s["addr"] & (amap.macro_page_bytes - 1),
+                trace.records["addr"][own] & (amap.macro_page_bytes - 1),
+            )
+
+    def test_one_shard_is_identity(self):
+        trace = _trace()
+        out = shard_records(trace.records, _cfg(), 1, 0)
+        assert out is trace.records
+
+    def test_top_pages_rejected(self):
+        cfg = _cfg()
+        amap = cfg.address_map()
+        top = (amap.n_total_pages - 2) * amap.macro_page_bytes
+        trace = make_chunk([top], time=[1])
+        with pytest.raises(SimulationError):
+            shard_records(trace.records, cfg, 4, 0)
+
+    def test_validate_rejects_bad_geometry(self):
+        with pytest.raises(CampaignError):
+            validate_sharding(_cfg(), 3)  # 128 onpkg pages % 3 != 0
+        with pytest.raises(CampaignError):
+            validate_sharding(_cfg(), 0)
+
+    def test_validate_rejects_ras(self):
+        cfg = dataclasses.replace(_cfg(), ras=RASConfig(enabled=True))
+        with pytest.raises(CampaignError):
+            ShardedSimulator(cfg, 2)
+
+
+class TestMergeResults:
+    def _result(self, **kw):
+        r = SimulationResult()
+        for k, v in kw.items():
+            setattr(r, k, v)
+        return r
+
+    def test_counters_sum_rates_weighted(self):
+        a = self._result(n_accesses=100, total_latency=1_000,
+                         onpkg_accesses=80, offpkg_accesses=20,
+                         onpkg_row_hit_rate=0.9, offpkg_row_hit_rate=0.5,
+                         swaps_triggered=3, duration_cycles=500)
+        b = self._result(n_accesses=300, total_latency=9_000,
+                         onpkg_accesses=120, offpkg_accesses=180,
+                         onpkg_row_hit_rate=0.6, offpkg_row_hit_rate=0.7,
+                         swaps_triggered=1, duration_cycles=400)
+        m = merge_results([a, b])
+        assert m.n_accesses == 400
+        assert m.total_latency == 10_000
+        assert m.swaps_triggered == 4
+        assert m.duration_cycles == 500  # max, spans overlap
+        assert m.onpkg_row_hit_rate == pytest.approx(
+            (0.9 * 80 + 0.6 * 120) / 200
+        )
+        assert m.offpkg_row_hit_rate == pytest.approx(
+            (0.5 * 20 + 0.7 * 180) / 200
+        )
+
+    def test_epoch_series_mean_of_shard_means(self):
+        a = self._result(epoch_latency=[10.0, 20.0, 30.0])
+        b = self._result(epoch_latency=[30.0, 40.0])
+        m = merge_results([a, b])
+        assert m.epoch_latency == [20.0, 30.0, 30.0]
+
+    def test_events_tagged_and_resorted(self):
+        ev = lambda t, e, d: DegradationEvent(time=t, epoch=e, kind="k",
+                                              detail=d)
+        a = self._result(degradation_events=[ev(50, 5, "x")])
+        b = self._result(degradation_events=[ev(10, 1, "y")],
+                         quarantined=True)
+        m = merge_results([a, b])
+        assert [e.detail for e in m.degradation_events] == \
+            ["[shard 1] y", "[shard 0] x"]
+        assert m.quarantined
+
+    def test_single_result_passthrough_and_empty_rejected(self):
+        a = self._result(n_accesses=7)
+        assert merge_results([a]) is a
+        with pytest.raises(CampaignError):
+            merge_results([])
+
+
+class TestShardedRuns:
+    def test_one_shard_bit_identical_to_plain(self):
+        trace = _trace()
+        plain = HeterogeneousMainMemory(_cfg()).run(trace)
+        sharded = ShardedSimulator(_cfg(), 1, **SUP).run(trace)
+        assert sharded.total_latency == plain.total_latency
+        assert sharded.epoch_latency == plain.epoch_latency
+        assert sharded.swaps_triggered == plain.swaps_triggered
+        assert sharded.n_accesses == plain.n_accesses
+
+    def test_four_shards_track_unsharded(self):
+        trace = _trace()
+        plain = HeterogeneousMainMemory(_cfg()).run(trace)
+        merged = ShardedSimulator(_cfg(), 4, **SUP).run(trace)
+        assert merged.n_accesses == plain.n_accesses
+        # seeded tolerance contract: averages track, not bitwise
+        assert merged.average_latency == pytest.approx(
+            plain.average_latency, rel=0.5
+        )
+        # shards hit epoch boundaries every swap_interval *local*
+        # accesses (4x finer in wall-clock time), so they promote hot
+        # pages earlier and settle at a higher on-package fraction
+        assert merged.onpkg_fraction == pytest.approx(
+            plain.onpkg_fraction, abs=0.25
+        )
+        assert merged.onpkg_fraction >= plain.onpkg_fraction - 0.02
+        assert merged.swaps_triggered > 0
+        assert merged.fused_epochs > 0 and merged.stepwise_epochs == 0
+
+    def test_four_shards_deterministic(self):
+        trace = _trace()
+        a = ShardedSimulator(_cfg(), 4, **SUP).run(trace)
+        b = ShardedSimulator(_cfg(), 4, **SUP).run(trace)
+        assert a.total_latency == b.total_latency
+        assert a.epoch_latency == b.epoch_latency
+        assert a.swaps_triggered == b.swaps_triggered
+
+    def test_run_stream(self):
+        merged = ShardedSimulator(_cfg(), 2, **SUP).run_stream(_stream_factory)
+        assert merged.n_accesses == 20_000
+        again = ShardedSimulator(_cfg(), 2, **SUP).run_stream(_stream_factory)
+        assert merged.total_latency == again.total_latency
