@@ -60,7 +60,21 @@ from .errors import (
     SwapAbortError,
     TaskCrashError,
     TaskTimeoutError,
+    TenancyError,
     WatchdogError,
+)
+from .tenancy import (
+    CrossTenantViolation,
+    HotSetAwarePolicy,
+    IsolationOracle,
+    MultiTenantSimulator,
+    ProportionalSharePolicy,
+    StaticQuotaPolicy,
+    TenantDomain,
+    TenantMetrics,
+    TenantRegistry,
+    TenantScheduler,
+    TenantSpec,
 )
 from .resilience import (
     DegradationEvent,
@@ -86,6 +100,7 @@ __all__ = [
     "CampaignSupervisor",
     "CampaignTask",
     "CheckpointError",
+    "CrossTenantViolation",
     "DataViolation",
     "DegradationEvent",
     "DetailedSimulator",
@@ -96,21 +111,32 @@ __all__ = [
     "FaultPlan",
     "GB",
     "HeterogeneousMainMemory",
+    "HotSetAwarePolicy",
+    "IsolationOracle",
     "KB",
     "LatencyComponents",
     "MB",
     "MigrationAlgorithm",
     "MigrationConfig",
+    "MultiTenantSimulator",
     "PowerConfig",
+    "ProportionalSharePolicy",
     "ReproError",
     "ResilienceConfig",
     "RetryPolicy",
     "ShadowMemory",
     "SimulationResult",
+    "StaticQuotaPolicy",
     "SwapAbortError",
     "SystemConfig",
     "TaskCrashError",
     "TaskTimeoutError",
+    "TenancyError",
+    "TenantDomain",
+    "TenantMetrics",
+    "TenantRegistry",
+    "TenantScheduler",
+    "TenantSpec",
     "WatchdogError",
     "baseline_latency",
     "effectiveness",

@@ -55,6 +55,8 @@ class SimulationResult:
     swaps_triggered: int = 0
     swaps_suppressed_busy: int = 0
     swaps_suppressed_cold: int = 0
+    #: swaps vetoed/steered by a tenancy QoS capacity policy
+    swaps_suppressed_qos: int = 0
     migrated_bytes: int = 0
     cross_boundary_migrated_bytes: int = 0
     #: per-epoch mean latency series (for convergence plots)
@@ -83,6 +85,8 @@ class SimulationResult:
     ras: RasReport | None = None
     #: row-disturbance summary (None unless ``DisturbConfig(enabled=True)``)
     disturb: DisturbReport | None = None
+    #: tenant_id -> TenantMetrics (None unless run by MultiTenantSimulator)
+    tenants: dict | None = None
 
     @property
     def average_latency(self) -> float:
@@ -271,6 +275,7 @@ class EpochSimulator:
             result.duration_cycles += int(trace.time[-1]) - duration_ref
         result.swaps_suppressed_busy = self.engine.swaps_suppressed_busy
         result.swaps_suppressed_cold = self.engine.swaps_suppressed_cold
+        result.swaps_suppressed_qos = self.engine.swaps_suppressed_qos
         result.migrated_bytes = self.engine.migrated_bytes
         result.cross_boundary_migrated_bytes = self.engine.cross_boundary_bytes
         result.onpkg_row_hit_rate = self.controller.onpkg_model.device.row_hit_rate

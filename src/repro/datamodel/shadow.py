@@ -159,6 +159,25 @@ class ShadowMemory:
         """A plan completed: its table updates are live, copies stop."""
         self._links.clear()
 
+    def scrub_page(self, page: int, loc: Location) -> None:
+        """Hypervisor scrub on tenant release: overwrite ``page`` in place.
+
+        Models the zero-fill a hypervisor performs before re-assigning a
+        freed page window: every sub-block gets a *new* write generation
+        landed at the page's resolved location, so a later tenant reading
+        the recycled window sees hypervisor-initialised content, not the
+        departed tenant's residue. Skipping the scrub leaves the old
+        cells in place — and because they still carry a matching
+        ``(page, generation)``, the shadow alone cannot see the leak;
+        that cross-tenant flow is what the tenancy isolation oracle
+        exists to catch.
+        """
+        cells = self._cells(loc)
+        for sb in range(self.n_subblocks):
+            gen = self.generation.get((page, sb), 0) + 1
+            self.generation[(page, sb)] = gen
+            cells[sb] = (page, gen)
+
     # ------------------------------------------------------------------
     # engine-side op queue
     # ------------------------------------------------------------------

@@ -111,6 +111,17 @@ class TaskTimeoutError(CampaignError):
     """
 
 
+class TenancyError(ReproError):
+    """The multi-tenant layer was misused.
+
+    Raised for admission failures (no contiguous page window left for
+    the requested footprint), duplicate or unknown tenant ids, traces
+    addressing outside the tenant's declared footprint, and QoS policy
+    misconfiguration. Table-level reclamation failures keep raising
+    :class:`TranslationTableError` — this class covers the layer above.
+    """
+
+
 class AnalysisError(ReproError):
     """Static-analysis tooling failure (repro-lint, protocol checker).
 

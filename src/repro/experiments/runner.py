@@ -36,6 +36,7 @@ from . import (
     fig15,
     fig16,
     hammer_soak,
+    multi_tenant,
     refresh,
     table1,
     table2_3,
@@ -56,12 +57,13 @@ EXPERIMENTS = {
     "table4": table4.run,
     "chaos-soak": chaos_soak.run,
     "hammer-soak": hammer_soak.run,
+    "multi-tenant": multi_tenant.run,
     "refresh": refresh.run,
 }
 
 #: experiments whose inner (workload x config) grids fan out through
 #: the supervisor when run individually
-GRID_EXPERIMENTS = {"table4", "fig12-14", "refresh"}
+GRID_EXPERIMENTS = {"table4", "fig12-14", "refresh", "multi-tenant"}
 
 
 def render_experiment(name: str, fast: bool) -> str:

@@ -54,6 +54,21 @@ class HeterogeneousController:
         self.onpkg_accesses = 0
         self.offpkg_accesses = 0
 
+    def counters(self) -> tuple[int, int, int, int]:
+        """``(accesses, total_latency, onpkg, offpkg)`` snapshot.
+
+        The tenancy scheduler diffs consecutive snapshots around each
+        tenant's trace chunk to attribute controller work per tenant —
+        valid on both loop flavours because the fused flush also settles
+        these counters within ``run_into`` before it returns.
+        """
+        return (
+            self.accesses,
+            self.total_latency,
+            self.onpkg_accesses,
+            self.offpkg_accesses,
+        )
+
     # ------------------------------------------------------------------
     # checkpoint support
     # ------------------------------------------------------------------

@@ -174,6 +174,7 @@ class MigrationEngine:
         self.swaps_triggered = 0
         self.swaps_suppressed_busy = 0
         self.swaps_suppressed_cold = 0
+        self.swaps_suppressed_qos = 0
         self.swaps_failed = 0
         self.migrated_bytes = 0
         self.cross_boundary_bytes = 0
@@ -200,9 +201,17 @@ class MigrationEngine:
         #: hammer mitigation by pulling them on-package, where tRFC is
         #: short and victim refresh is cheap
         self.disturb = None
+        #: optional multi-tenant capacity/QoS policy (set by
+        #: MultiTenantSimulator): consulted at every trigger evaluation;
+        #: it can veto a promotion outright or restrict which slots may
+        #: be demoted to make room for it
+        self.qos = None
         # RAS predictive-retirement accounting
         self.frames_retired = 0
         self.retired_bytes = 0
+        # multi-tenant reclamation accounting
+        self.tenants_released = 0
+        self.reclaimed_bytes = 0
         # last-touched sub-block per off-package page, as parallel sorted
         # arrays (one np.unique pass per epoch, no per-epoch dict build)
         self._last_sb_pages: np.ndarray | None = None
@@ -470,6 +479,15 @@ class MigrationEngine:
             self.monitor.new_epoch()
             return SwapDecision(False, f"hottest page {mru_page} already on-package")
 
+        qos_veto: str | None = None
+        qos_exclude: set[int] = set()
+        if self.qos is not None:
+            qos_veto, qos_exclude = self.qos.constrain(mru_page)
+        if qos_veto is not None:
+            self.swaps_suppressed_qos += 1
+            self.monitor.new_epoch()
+            return SwapDecision(False, f"QoS: {qos_veto}", mru=mru_page)
+
         empty = self.table.empty_slot()
         exclude = set(self.table.retired_slots())
         if empty is not None:
@@ -479,6 +497,17 @@ class MigrationEngine:
             # one — there is nothing to demote, so nothing to swap
             self.monitor.new_epoch()
             return SwapDecision(False, "no occupied on-package slot to demote")
+        if qos_exclude:
+            exclude |= qos_exclude
+            if len(exclude) >= self.table.n_slots:
+                # at quota with no own slot to recycle: suppress
+                self.swaps_suppressed_qos += 1
+                self.monitor.new_epoch()
+                return SwapDecision(
+                    False,
+                    "QoS: every demotion candidate is excluded",
+                    mru=mru_page,
+                )
         lru_slot = self.monitor.coldest_slot(exclude=exclude)
         lru_page = self.table.page_in_slot(lru_slot)
         if lru_page == EMPTY:
@@ -774,6 +803,82 @@ class MigrationEngine:
         )
         return end
 
+    # ------------------------------------------------------------------
+    # multi-tenant domain reclamation
+    # ------------------------------------------------------------------
+    def forget_pages(self, pages, slots=()) -> None:
+        """Drop released pages from the trigger's candidate state.
+
+        The epoch fold (:meth:`observe_epoch`) runs before the
+        boundary's :meth:`maybe_swap`, and a tenant release is legal in
+        between: without this purge the monitor's ``np.unique``-derived
+        page arrays — and the critical-block recency arrays kept beside
+        them — could nominate a page whose tenant is gone, promoting a
+        dead page into a live slot.
+        """
+        parr = np.array(sorted({int(p) for p in pages}), dtype=np.int64)
+        self.monitor.forget_pages(parr, slots=slots)
+        if self._last_sb_pages is not None and parr.size:
+            keep = ~np.isin(self._last_sb_pages, parr)
+            if not bool(keep.all()):
+                self._last_sb_pages = self._last_sb_pages[keep]
+                self._last_sb_vals = self._last_sb_vals[keep]
+                if self._last_sb_pages.size == 0:
+                    self._last_sb_pages = None
+                    self._last_sb_vals = None
+
+    def release_tenant(self, now: int, pages, *, scrub: bool = True) -> int:
+        """Reclaim a departed tenant's translation state (hypervisor path).
+
+        Every transposition involving one of ``pages`` is undone to the
+        identity mapping via :meth:`TranslationTable.release_pages`,
+        with the surviving partner page's data copied home first; the
+        copies run under a plan-less stall window exactly like a frame
+        retirement's copy-out. ``scrub`` models hypervisor zero-fill of
+        the freed pages (scrub-on-free) in the data shadow; disabling
+        it lets tests demonstrate cross-tenant data leaks. Returns the
+        cycle the reclamation window closes.
+        """
+        if self.active is not None and self.active.in_flight(now):
+            raise MigrationError(
+                "a swap is in flight (P/F busy); reclamation must wait"
+            )
+        outcome = self.table.release_pages(pages)
+        if self.shadow is not None:
+            # the copies run under stall: nothing executes inside the
+            # window, so the data lands synchronously
+            self.shadow.flush(now)
+            for src, dst in outcome.moves:
+                self.shadow.apply_copy(src, dst)
+            if scrub:
+                for p in sorted({int(q) for q in pages}):
+                    on, machine = self.table.resolve(p)
+                    loc = ("slot", machine) if on else ("mach", machine)
+                    self.shadow.scrub_page(p, loc)
+        end = now
+        nbytes = 0
+        for src, dst in outcome.moves:
+            step = CopyStep(
+                label="reclaim",
+                nbytes=self.amap.macro_page_bytes,
+                cross_boundary=not (src[0] == "slot" and dst[0] == "slot"),
+                src=src,
+                dst=dst,
+            )
+            if self.wear is not None and dst[0] == "mach":
+                self.wear.observe_copy(dst[1], step.nbytes)
+            end += self._copy_duration(end, step)
+            nbytes += step.nbytes
+        if outcome.moves:
+            self.active = ActiveMigration(
+                plan=None, start=now, end=end, fill=None, timelines={},
+                recovery=True,
+            )
+        self.forget_pages(pages, slots=outcome.undone_slots)
+        self.tenants_released += 1
+        self.reclaimed_bytes += nbytes
+        return end
+
     def _collect_shadow_copy(
         self,
         ops: list[tuple[int, str, tuple]],
@@ -913,6 +1018,7 @@ class MigrationEngine:
             "swaps_triggered": self.swaps_triggered,
             "swaps_suppressed_busy": self.swaps_suppressed_busy,
             "swaps_suppressed_cold": self.swaps_suppressed_cold,
+            "swaps_suppressed_qos": self.swaps_suppressed_qos,
             "swaps_failed": self.swaps_failed,
             "migrated_bytes": self.migrated_bytes,
             "cross_boundary_bytes": self.cross_boundary_bytes,
@@ -926,6 +1032,8 @@ class MigrationEngine:
             "recovery_bytes": self.recovery_bytes,
             "frames_retired": self.frames_retired,
             "retired_bytes": self.retired_bytes,
+            "tenants_released": self.tenants_released,
+            "reclaimed_bytes": self.reclaimed_bytes,
             "last_subblock": (
                 {}
                 if self._last_sb_pages is None
@@ -942,6 +1050,8 @@ class MigrationEngine:
         self.swaps_triggered = state["swaps_triggered"]
         self.swaps_suppressed_busy = state["swaps_suppressed_busy"]
         self.swaps_suppressed_cold = state["swaps_suppressed_cold"]
+        # .get(): checkpoints written before the tenancy subsystem
+        self.swaps_suppressed_qos = state.get("swaps_suppressed_qos", 0)
         self.swaps_failed = state["swaps_failed"]
         self.migrated_bytes = state["migrated_bytes"]
         self.cross_boundary_bytes = state["cross_boundary_bytes"]
@@ -956,6 +1066,8 @@ class MigrationEngine:
         self.recovery_bytes = state.get("recovery_bytes", 0)
         self.frames_retired = state.get("frames_retired", 0)
         self.retired_bytes = state.get("retired_bytes", 0)
+        self.tenants_released = state.get("tenants_released", 0)
+        self.reclaimed_bytes = state.get("reclaimed_bytes", 0)
         sb = dict(state["last_subblock"])
         if sb:
             pages = np.array(sorted(sb), dtype=np.int64)

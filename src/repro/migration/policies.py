@@ -156,6 +156,28 @@ class EpochMonitor:
         self._off_counts = np.zeros(0, dtype=np.int64)
         self._off_last = np.zeros(0, dtype=np.int64)
 
+    def forget_pages(self, pages: np.ndarray, slots=()) -> None:
+        """Purge released pages/slots from the monitor (tenant churn).
+
+        The off-package fold (the ``np.unique``-derived page arrays set
+        by :meth:`fold_epoch`) survives until the boundary's swap
+        evaluation consumes it, and a tenant release is legal in
+        between — without this filter a freed page could win the
+        hottest ranking and be promoted after its owner is gone.
+        Reclaimed ``slots`` get their recency cleared: a never-touched
+        slot sorts coldest, so freed capacity is immediately demotable.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        if pages.size and self._off_pages.size:
+            keep = ~np.isin(self._off_pages, pages)
+            if not bool(keep.all()):
+                self._off_pages = self._off_pages[keep]
+                self._off_counts = self._off_counts[keep]
+                self._off_last = self._off_last[keep]
+        for slot in slots:
+            self.slot_last_touch[slot] = -1
+            self.slot_epoch_counts[slot] = 0
+
     # -- checkpoint support ------------------------------------------------
     def state_dict(self) -> dict:
         return {

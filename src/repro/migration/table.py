@@ -37,6 +37,7 @@ simply sees a table with fewer usable slots.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from enum import Enum
 
 import numpy as np
@@ -46,6 +47,24 @@ from ..errors import TranslationTableError
 
 #: right-column sentinel for the empty slot (represented by Ω in hardware)
 EMPTY: int = -1
+
+
+@dataclass(frozen=True)
+class ReleaseOutcome:
+    """Result of :meth:`TranslationTable.release_pages`.
+
+    ``moves`` are the macro-page copies the caller must perform (they
+    were computed from the *pre-release* state, so they are valid only
+    if executed as given, in order); each endpoint is a
+    ``("slot", i)`` / ``("mach", p)`` machine location. ``undone_slots``
+    are the rows whose pairing changed (for recency bookkeeping), and
+    ``new_empty`` is the row the EMPTY column relocated to when the
+    release un-ghosted a surviving page (None otherwise).
+    """
+
+    moves: tuple[tuple[tuple[str, int], tuple[str, int]], ...]
+    undone_slots: tuple[int, ...]
+    new_empty: int | None
 
 
 class PageCategory(Enum):
@@ -409,6 +428,123 @@ class TranslationTable:
         for p in sorted({slot, occupant}):
             self._sync_page(p)
         return occupant
+
+    # ------------------------------------------------------------------
+    # multi-tenant slot reclamation (tenancy subsystem)
+    # ------------------------------------------------------------------
+    def release_pages(self, pages) -> ReleaseOutcome:
+        """Undo every transposition involving a released page set.
+
+        A departing tenant's pages must stop occupying on-package slots
+        and stop displacing surviving pages: each row ``r <-> q`` where
+        either side belongs to ``pages`` returns to the identity
+        mapping, with the *surviving* partner's data copied home first
+        (at most one copy per row — a transposition has exactly one
+        live side worth preserving, or none). Dead pages' old locations
+        keep stale bytes; scrub-on-free is the caller's job.
+
+        When the release leaves a freed identity row while the current
+        ghost page survives, the EMPTY row relocates onto the freed row
+        (one Ω -> slot copy brings the ghost page home), so freed
+        capacity absorbs the ghost role instead of a live page paying
+        Ω latency for it.
+
+        Like retirement, this requires swap quiescence. The mutation is
+        applied with direct right-column writes (one bulk update, the
+        way a hypervisor would patch the table), which bypass
+        ``_set_cam`` — so the epoch-boundary ``empty_slot`` cache is
+        invalidated explicitly below.
+        """
+        page_set = {int(p) for p in pages}
+        for p in sorted(page_set):
+            if not 0 <= p < self.amap.ghost_page:
+                raise TranslationTableError(
+                    f"released page {p} outside the data space [0, "
+                    f"{self.amap.ghost_page})"
+                )
+            if p in self.reserved_pages:
+                raise TranslationTableError(
+                    f"released page {p} is a reserved RAS spare"
+                )
+        if (
+            self._filling_slot is not None
+            or bool(self.f_bit.any())
+            or bool(self.p_bit.any())
+        ):
+            raise TranslationTableError(
+                "release requires a quiescent table (a swap is in flight)"
+            )
+
+        # plan phase: copies are computed against the pre-release state
+        moves: list[tuple[tuple[str, int], tuple[str, int]]] = []
+        undone: list[tuple[int, int]] = []
+        for slot in range(self.n_slots):
+            if self.retired[slot]:
+                continue
+            q = int(self.pair[slot])
+            # q == slot is the identity-home test (nothing to undo)
+            if q == EMPTY or q == slot:  # repro-lint: disable=domain-confusion
+                continue
+            # slot doubles as the row's home-page id in the pairing
+            if q not in page_set and slot not in page_set:  # repro-lint: disable=domain-confusion
+                continue
+            undone.append((slot, q))
+            if q not in page_set:
+                # occupant survives: its data goes home off-package
+                moves.append((("slot", slot), ("mach", q)))
+            elif slot not in page_set:
+                # home page survives: its data returns to its own slot
+                moves.append((("mach", q), ("slot", slot)))
+
+        undone_slots = [slot for slot, _ in undone]
+        relocate: tuple[int, int] | None = None
+        e = self.empty_slot()
+        if e is not None and e not in page_set:
+            # the ghost page survives the release; a freed identity row
+            # can take over the EMPTY role
+            identity_after = set(undone_slots)
+            identity_after.update(
+                s for s in range(self.n_slots) if int(self.pair[s]) == s
+            )
+            candidates = [
+                s
+                for s in sorted(page_set)
+                # a released page id below n_slots doubles as a row index
+                if s < self.n_slots  # repro-lint: disable=domain-confusion
+                and not self.retired[s]
+                and s != e  # repro-lint: disable=domain-confusion
+                and s in identity_after
+            ]
+            if candidates:
+                # mirror boot's usable[-1] convention: highest row
+                r = max(candidates)
+                moves.append((("mach", self.amap.ghost_page), ("slot", e)))
+                relocate = (e, r)
+
+        # apply phase: direct bulk writes (bypassing _set_cam)
+        for slot, q in undone:
+            del self._slot_of[q]
+            self.pair[slot] = slot
+            self._slot_of[slot] = slot
+            self._sync_page(slot)
+            self._sync_page(q)
+        if relocate is not None:
+            e, r = relocate
+            self.pair[e] = e
+            self._slot_of[e] = e
+            self.pair[r] = EMPTY
+            self._slot_of.pop(r, None)
+            self._sync_page(e)
+            self._sync_page(r)
+            undone_slots.extend((e, r))
+        # THE direct writes above never went through _set_cam, so the
+        # epoch-boundary empty-slot cache would go stale without this
+        self._empty_cache_valid = False
+        return ReleaseOutcome(
+            moves=tuple(moves),
+            undone_slots=tuple(undone_slots),
+            new_empty=None if relocate is None else relocate[1],
+        )
 
     # ------------------------------------------------------------------
     # snapshot / restore / recovery (resilience subsystem)

@@ -1,7 +1,7 @@
 """Streaming statistics and paper-style table formatting."""
 
 from .accumulators import LatencyAccumulator, StreamingMean
-from .report import Table, format_cycles, ras_table, resilience_table
+from .report import Table, format_cycles, ras_table, resilience_table, tenant_table
 
 __all__ = [
     "StreamingMean",
@@ -10,4 +10,5 @@ __all__ = [
     "format_cycles",
     "ras_table",
     "resilience_table",
+    "tenant_table",
 ]

@@ -174,6 +174,51 @@ def ras_table(result) -> Table:
         )
     return table
 
+def tenant_table(result) -> Table:
+    """Per-tenant summary of a multi-tenant run as a :class:`Table`.
+
+    Takes a :class:`~repro.core.simulator.SimulationResult` from a
+    :class:`~repro.tenancy.MultiTenantSimulator` run: one row per
+    tenant with its accesses, on-package hit rate, average latency,
+    migration work, and — when the run computed solo baselines — the
+    slowdown and noisy-neighbour interference index.
+    """
+    if not result.tenants:
+        raise ReproError(
+            "result carries no tenant metrics (run via MultiTenantSimulator)"
+        )
+    table = Table(
+        "Per-tenant summary",
+        ["tenant", "accesses", "hit rate", "avg latency", "swaps",
+         "migrated", "slowdown", "interference"],
+    )
+    for tenant_id in sorted(result.tenants):
+        m = result.tenants[tenant_id]
+        slowdown = m.slowdown
+        interference = m.interference_index
+        table.add_row(
+            f"{tenant_id}:{m.name}",
+            m.accesses,
+            f"{m.hit_rate:.1%}",
+            f"{m.average_latency:.1f}",
+            m.swaps_triggered,
+            format_cycles(m.migrated_bytes),
+            "n/a" if slowdown is None else f"{slowdown:.2f}x",
+            "n/a" if interference is None else f"{interference:.1%}",
+        )
+    if result.swaps_suppressed_qos:
+        table.add_footnote(
+            f"{result.swaps_suppressed_qos} swap(s) vetoed or steered by "
+            f"the QoS capacity policy"
+        )
+    if any(m.slowdown is None for m in result.tenants.values()):
+        table.add_footnote(
+            "slowdown/interference need solo baselines "
+            "(MultiTenantSimulator(solo_baselines=True))"
+        )
+    return table
+
+
 def disturb_table(result) -> Table:
     """Summarise a run's row-disturbance telemetry as a :class:`Table`.
 

@@ -14,6 +14,7 @@ from .registry import available_workloads, get_workload
 from .npb import NPB_FOOTPRINTS_MB, npb_workload
 from .spec import spec2006_mixture, spec_workload
 from .server import indexer_workload, pgbench_workload, specjbb_workload
+from .tenants import TENANT_WORKLOADS, tenant_mix
 
 __all__ = [
     "PatternSpec",
@@ -28,4 +29,6 @@ __all__ = [
     "pgbench_workload",
     "indexer_workload",
     "specjbb_workload",
+    "TENANT_WORKLOADS",
+    "tenant_mix",
 ]

@@ -1,0 +1,86 @@
+"""Tenant mix presets for the multi-tenant scenarios.
+
+Builds ``(TenantSpec, trace)`` pairs sized to a given system geometry:
+the base tenants tile the whole data page space, so with churn enabled
+the late arrivals are deliberately *only* admissible into a window a
+departed tenant freed — every churn run structurally proves reclaimed
+windows are reusable.
+"""
+
+from __future__ import annotations
+
+from ..config import SystemConfig
+from ..errors import WorkloadError
+from ..tenancy.domain import TenantSpec
+from ..trace.record import TraceChunk
+from .registry import generate_trace
+
+#: workload names cycled across the tenants of a mix
+TENANT_WORKLOADS = ("pgbench", "indexer", "SPECjbb", "FT.C", "MG.C")
+
+
+def tenant_mix(
+    config: SystemConfig,
+    n_tenants: int = 8,
+    *,
+    accesses: int = 20_000,
+    seed: int = 0,
+    churn: bool = False,
+) -> list[tuple[TenantSpec, TraceChunk]]:
+    """A ready-to-schedule mix of ``n_tenants`` heterogeneous tenants.
+
+    Every base tenant gets an equal page-count footprint (together they
+    tile the data space) and ``accesses`` trace accesses from a cycled
+    workload model. With ``churn=True`` two base tenants depart about a
+    third of the way through the run and two late tenants of the same
+    footprint arrive afterwards — their windows can only come from the
+    reclaimed ones.
+    """
+    if n_tenants < 1:
+        raise WorkloadError("n_tenants must be >= 1")
+    amap = config.address_map()
+    usable = amap.ghost_page
+    pages_each = usable // n_tenants
+    if pages_each < 2:
+        raise WorkloadError(
+            f"{n_tenants} tenants over {usable} data pages leaves "
+            f"footprints below 2 pages"
+        )
+    swap_interval = config.migration.swap_interval
+    total_epochs = max(1, n_tenants * accesses // swap_interval)
+    depart_epoch = max(2, total_epochs // 3)
+    # a departure is only *noticed* when the round-robin reaches the
+    # tenant, up to one full rotation after depart_epoch — arrivals wait
+    # two rotations so both freed windows exist by then
+    arrive_epoch = depart_epoch + 2 * n_tenants
+    departing = {1, 3} & set(range(n_tenants)) if churn else set()
+
+    mix: list[tuple[TenantSpec, TraceChunk]] = []
+    footprint = pages_each * amap.macro_page_bytes
+    for i in range(n_tenants):
+        name = TENANT_WORKLOADS[i % len(TENANT_WORKLOADS)]
+        spec = TenantSpec(
+            tenant_id=i,
+            name=name,
+            n_pages=pages_each,
+            weight=1.0 + 0.5 * (i % 3),
+            depart_epoch=depart_epoch if i in departing else None,
+        )
+        trace = generate_trace(
+            name, accesses, seed=seed + i, footprint_bytes=footprint
+        )
+        mix.append((spec, trace))
+    for j in range(len(departing)):
+        tenant_id = n_tenants + j
+        name = TENANT_WORKLOADS[tenant_id % len(TENANT_WORKLOADS)]
+        spec = TenantSpec(
+            tenant_id=tenant_id,
+            name=name,
+            n_pages=pages_each,
+            arrive_epoch=arrive_epoch + j,
+        )
+        trace = generate_trace(
+            name, accesses, seed=seed + tenant_id, footprint_bytes=footprint
+        )
+        mix.append((spec, trace))
+    return mix

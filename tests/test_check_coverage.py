@@ -68,6 +68,7 @@ class TestGate:
                 "src/repro/migration/engine.py": [(n, 1) for n in range(9)]
                 + [(9, 0)],
                 "src/repro/datamodel/shadow.py": [(1, 1)],
+                "src/repro/tenancy/domain.py": [(1, 1)],
             }
         )
         assert check_coverage.main([path, "--min-percent", "90"]) == 0
@@ -79,6 +80,7 @@ class TestGate:
             {
                 "src/repro/migration/engine.py": [(1, 1), (2, 0)],
                 "src/repro/datamodel/shadow.py": [(1, 1)],
+                "src/repro/tenancy/domain.py": [(1, 1)],
             }
         )
         assert check_coverage.main([path, "--min-percent", "90"]) == 1
@@ -101,6 +103,7 @@ class TestGate:
                 "src/repro/core/simulator.py": [(n, 1) for n in range(100)],
                 "src/repro/migration/engine.py": [(1, 0), (2, 0)],
                 "src/repro/datamodel/shadow.py": [(1, 1)],
+                "src/repro/tenancy/domain.py": [(1, 1)],
             }
         )
         assert check_coverage.main([path]) == 1

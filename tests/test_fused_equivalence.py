@@ -232,3 +232,60 @@ class TestRefresh:
             migrate=False,
         )
         assert taxed.total_latency > base.total_latency
+
+
+class TestMultiTenant:
+    """A tenant-tagged interleaved stream must keep the fused fast path:
+    window translation, QoS constraints and per-tenant attribution ride
+    on ``run_into`` and may not force (or perturb) the stepwise loop."""
+
+    N_TENANTS = 3
+
+    def _tenant_trace(self, n, seed, span_bytes):
+        rng = np.random.default_rng(seed)
+        hot = rng.integers(0, span_bytes)
+        addr = np.where(
+            rng.random(n) < 0.8,
+            (hot + rng.integers(0, 2 * MB, n)) % span_bytes,
+            rng.integers(0, span_bytes, n),
+        )
+        addr = (addr // 4096) * 4096
+        rw = (rng.random(n) < 0.3).astype(np.int8)
+        return make_chunk(
+            addr.astype(np.int64), time=np.cumsum(rng.integers(1, 80, n)), rw=rw
+        )
+
+    def _run(self, fused):
+        from repro.tenancy import (
+            MultiTenantSimulator,
+            ProportionalSharePolicy,
+            TenantSpec,
+        )
+
+        cfg = _cfg()
+        amap = cfg.address_map()
+        n_pages = amap.ghost_page // self.N_TENANTS
+        mts = MultiTenantSimulator(
+            cfg, policy=ProportionalSharePolicy(), fused=fused
+        )
+        for i in range(self.N_TENANTS):
+            mts.add_tenant(
+                TenantSpec(tenant_id=i, name=f"t{i}", n_pages=n_pages,
+                           weight=1.0 + 0.5 * i),
+                self._tenant_trace(
+                    20_000, seed=i, span_bytes=n_pages * amap.macro_page_bytes
+                ),
+            )
+        return mts.run()
+
+    def test_bit_identical_under_tenant_tags(self):
+        r_fused = self._run(fused=True)
+        r_plain = self._run(fused=False)
+        # TenantMetrics is an eq dataclass: the tenants dicts compare
+        # field-for-field inside _scalar_fields
+        assert _scalar_fields(r_fused) == _scalar_fields(r_plain)
+        assert r_fused.epoch_latency == r_plain.epoch_latency
+        assert r_fused.stepwise_epochs == 0
+        assert r_plain.fused_epochs == 0
+        assert r_fused.fused_epochs == r_plain.stepwise_epochs
+        assert r_fused.swaps_triggered > 0

@@ -8,8 +8,9 @@ falls below the threshold::
 
     python tools/check_coverage.py coverage.xml --min-percent 90
 
-The data-safe abort recovery lives in ``src/repro/migration`` and the
-shadow memory in ``src/repro/datamodel``; both are correctness-critical
+The data-safe abort recovery lives in ``src/repro/migration``, the
+shadow memory in ``src/repro/datamodel``, and the tenant isolation /
+reclamation layer in ``src/repro/tenancy``; all are correctness-critical
 bookkeeping whose untested lines are exactly where a silent
 data-corruption bug would hide, hence the dedicated gate.
 """
@@ -21,7 +22,7 @@ import sys
 import xml.etree.ElementTree as ET
 from pathlib import PurePosixPath
 
-DEFAULT_TARGETS = ("repro/migration", "repro/datamodel")
+DEFAULT_TARGETS = ("repro/migration", "repro/datamodel", "repro/tenancy")
 
 
 def _normalize(filename: str) -> str:
